@@ -1,0 +1,37 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark prints the paper-style table at module teardown, and
+registers with pytest-benchmark so ``pytest benchmarks/
+--benchmark-only`` gives machine-readable timings as well.
+
+Dataset sizes default to Python-scale (10k–50k, vs the paper's 10M) and
+multiply by ``REPRO_BENCH_SCALE``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.generators import dataset as make_dataset
+from repro.parlay import tracker
+
+_cache: dict = {}
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracker():
+    tracker.reset()
+    yield
+    tracker.reset()
+
+
+def data(name: str, seed: int = 0) -> np.ndarray:
+    """Memoized paper-style dataset (coordinates array)."""
+    key = (name, seed)
+    if key not in _cache:
+        _cache[key] = make_dataset(name, seed=seed).coords
+    return _cache[key]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Register a single-shot measurement with pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,102 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Reservation batch size: round batch r trades rounds against
+   contention — success rate falls and wasted work grows as r grows,
+   especially on small-output datasets (App. B's motivation for the
+   low-facet fallback).
+2. Pseudohull culling threshold: smaller thresholds prune harder but
+   recurse more; larger thresholds leave more points for the final
+   quickhull (the paper's stack-overflow-avoidance knob).
+3. BDL buffer size X: the log-structure's rebuild cadence.
+4. kd-tree leaf size: query work vs tree depth.
+"""
+
+import numpy as np
+
+from repro.bdl import BDLTree
+from repro.bench import Table, bench_scale, measure
+from repro.generators import uniform
+from repro.hull import pseudohull_prune, randinc_hull3d, reservation_quickhull3d
+from repro.kdtree import KDTree
+
+from conftest import data, run_once
+
+N = bench_scale(15_000)
+
+
+def test_reservation_batch_size(benchmark):
+    pts = data(f"3D-U-{N}")
+    tab = Table("Ablation: reservation batch size (3D randinc hull)",
+                columns=("T1", "rounds", "success rate"))
+    rates = {}
+    for r in (1, 4, 16, 64, 256):
+        m = measure(f"batch={r}", randinc_hull3d, pts, r)
+        _, st = m.result
+        rate = st.reservations_succeeded / max(st.reservations_attempted, 1)
+        rates[r] = rate
+        tab.add_raw(f"batch={r}", m.t1, float(st.rounds), rate)
+    tab.show()
+    # contention rises with batch size on this small-output dataset
+    assert rates[256] <= rates[4] + 0.05
+    run_once(benchmark, lambda: None)
+
+
+def test_pseudohull_threshold(benchmark):
+    pts = data(f"3D-IS-{N}")
+    tab = Table("Ablation: pseudohull culling threshold",
+                columns=("T1", "survivors",))
+    counts = {}
+    for thr in (16, 64, 256, 1024):
+        m = measure(f"threshold={thr}", pseudohull_prune, pts, thr)
+        counts[thr] = len(m.result)
+        tab.add_raw(f"threshold={thr}", m.t1, float(len(m.result)))
+    tab.show()
+    assert counts[16] <= counts[1024]
+    run_once(benchmark, lambda: None)
+
+
+def test_bdl_buffer_size(benchmark):
+    pts = data(f"5D-U-{N}")
+    batch = N // 10
+    tab = Table("Ablation: BDL buffer size X (10 batch inserts)",
+                columns=("T1", "trees",))
+    for X in (64, 256, 1024, 4096):
+        def run(X=X):
+            t = BDLTree(5, buffer_size=X)
+            for b in range(10):
+                t.insert(pts[b * batch : (b + 1) * batch])
+            return t
+
+        m = measure(f"X={X}", run)
+        tab.add_raw(f"X={X}", m.t1, float(bin(m.result.bitmask).count("1")))
+    tab.show()
+    run_once(benchmark, lambda: None)
+
+
+def test_kdtree_leaf_size(benchmark):
+    pts = data(f"2D-U-{N}")
+    q = pts[: N // 10]
+    tab = Table("Ablation: kd-tree leaf size (build + k-NN)",
+                columns=("build T1", "knn T1"))
+    for leaf in (4, 16, 64, 256):
+        mb = measure(f"leaf={leaf} build", KDTree, pts, "object", leaf)
+        tree = mb.result
+        mq = measure(f"leaf={leaf} knn", tree.knn, q, 5)
+        tab.add_raw(f"leaf={leaf}", mb.t1, mq.t1)
+    tab.show()
+    run_once(benchmark, lambda: None)
+
+
+def test_split_rule_scalability(benchmark):
+    """Object vs spatial median: spatial is cheaper serially, scales
+    worse (paper §6.3's observation), visible in the cost model."""
+    pts = data(f"7D-U-{N}")
+    tab = Table("Ablation: split rule (7d build)", columns=("T1", "T36h", "speedup"))
+    ms = {}
+    for split in ("object", "spatial"):
+        m = measure(f"split={split}", KDTree, pts, split)
+        ms[split] = m
+        tab.add(m)
+    tab.show()
+    assert ms["object"].speedup(36) >= ms["spatial"].speedup(36) * 0.8
+    run_once(benchmark, lambda: None)

@@ -1,0 +1,82 @@
+"""Figure 10: smallest enclosing ball across implementations/datasets.
+
+Paper: CGAL (sequential Welzl), Orthant-scan, Sampling, Welzl, WelzlMtf,
+WelzlMtfPivot on twelve datasets spanning 2/3/5 dimensions.  Expected
+shape: Sampling fastest on most datasets, Orthant-scan on some; both
+far ahead of the Welzl family.
+"""
+
+import numpy as np
+
+from repro.bench import PAPER_CORES, Table, bench_scale, measure
+from repro.seb import (
+    orthant_scan_seb,
+    parallel_welzl,
+    sampling_seb,
+    welzl_mtf,
+    welzl_mtf_pivot,
+    welzl_seq,
+)
+
+from conftest import data, run_once
+
+# sizes: the Welzl-family baselines are O((d+1)! n)-ish in Python, so
+# the 5d datasets are kept small; the fast methods use the larger size
+N2 = bench_scale(30_000)
+N5 = bench_scale(5_000)
+
+DATASETS = [
+    f"2D-U-{N2}", f"2D-IS-{N2}", f"2D-OS-{N2}", f"2D-OC-{N2}",
+    f"3D-U-{N2}", f"3D-IS-{N2}", f"3D-OS-{N2}", f"3D-OC-{N2}",
+    f"5D-U-{N5}", f"5D-IS-{N5}", f"5D-OS-{N5}", f"5D-OC-{N5}",
+]
+
+IMPLS = [
+    ("SeqWelzl(CGAL-role)", welzl_seq),
+    ("Orthant-scan", orthant_scan_seb),
+    ("Sampling", lambda p: sampling_seb(p)[0]),
+    ("Welzl", parallel_welzl),
+    ("WelzlMtf", welzl_mtf),
+    ("WelzlMtfPivot", welzl_mtf_pivot),
+]
+
+_table = Table("Figure 10: smallest enclosing ball (T36h per impl x dataset)")
+_t36 = {}
+
+
+SEQUENTIAL = {"SeqWelzl(CGAL-role)", "WelzlMtf", "WelzlMtfPivot"}
+
+
+def _bench(benchmark, ds, impl_name, fn):
+    pts = data(ds)
+    m = measure(f"{ds} {impl_name}", fn, pts)
+    t36 = m.t1 if impl_name in SEQUENTIAL else m.tp(PAPER_CORES)
+    _table.add_raw(m.name, m.t1, t36, m.t1 / t36)
+    _t36[(ds, impl_name)] = t36
+    run_once(benchmark, lambda: None)
+
+
+def make_tests():
+    for ds in DATASETS:
+        for name, fn in IMPLS:
+            safe = ds.replace("-", "_")
+            sname = name.replace("(", "_").replace(")", "").replace("-", "_")
+
+            def t(benchmark, ds=ds, name=name, fn=fn):
+                _bench(benchmark, ds, name, fn)
+
+            globals()[f"test_{safe}_{sname}"] = t
+
+
+make_tests()
+
+
+def teardown_module(module):
+    _table.show()
+    # shape: Sampling or Orthant-scan is the fastest on every dataset
+    wins = {"Sampling": 0, "Orthant-scan": 0, "other": 0}
+    for ds in DATASETS:
+        best = min(IMPLS, key=lambda kv: _t36[(ds, kv[0])])[0]
+        wins[best if best in wins else "other"] = wins.get(best if best in wins else "other", 0) + 1
+    print(f"\nfastest-method wins: {wins} "
+          f"(paper: Sampling 8/12, Orthant-scan 4/12)")

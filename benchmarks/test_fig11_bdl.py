@@ -1,0 +1,129 @@
+"""Figure 11: BDL-tree vs B1/B2 — throughput vs thread count.
+
+Paper: 7D-U-10M; four operations (construction, batch insert, batch
+delete, full k-NN), object- and spatial-median splits, thread counts 1
+to 36h.  We measure T1 and derive the throughput curve from the cost
+model at each simulated thread count.
+
+Expected shape: construction — BDL >= B1, B2 slowest (per-leaf buffer
+allocation); insertion — B2 fastest, BDL second, B1 worst; deletion —
+B2 (tombstones) >> BDL > B1; k-NN after bulk build — B1/B2 faster than
+BDL (multi-tree overhead).  Spatial median is faster serially but
+scales worse than object median.
+"""
+
+import numpy as np
+
+from repro.bdl import BDLTree, InPlaceTree, RebuildTree
+from repro.bench import Table, bench_scale, measure
+from repro.parlay.workdepth import HYPERTHREAD_FACTOR, simulated_time
+
+from conftest import data, run_once
+
+N = bench_scale(10_000)
+THREADS = [1, 2, 4, 8, 18, 36, 36 * HYPERTHREAD_FACTOR]
+_tables: dict[str, Table] = {}
+_series: dict = {}
+
+
+def _make(kind, split):
+    if kind == "BDL":
+        return BDLTree(7, buffer_size=512, split=split)
+    if kind == "B1":
+        return RebuildTree(7, split=split)
+    return InPlaceTree(7, split=split)
+
+
+def _record(op, kind, split, m, n_ops):
+    tab = _tables.setdefault(op, Table(
+        f"Figure 11 ({op}): throughput (ops/s) vs simulated threads",
+        columns=tuple(f"p={p:g}" for p in THREADS),
+    ))
+    row = []
+    for p in THREADS:
+        tp = m.t1 * simulated_time(m.cost, p) / max(simulated_time(m.cost, 1.0), 1e-12)
+        row.append(n_ops / tp)
+    tab.add_raw(f"{split}-{kind}", *row)
+    _series[(op, kind, split)] = row
+
+
+def _bench_all(benchmark, kind, split):
+    pts = data(f"7D-U-{N}")
+    batch = N // 10
+
+    # construction (single bulk insert)
+    def construct():
+        t = _make(kind, split)
+        t.insert(pts)
+        return t
+
+    m = measure(f"{kind}-{split} construct", construct)
+    _record("construction", kind, split, m, N)
+
+    # batch insertion: 10 batches of 10% into an empty tree
+    def insert10():
+        t = _make(kind, split)
+        for b in range(10):
+            t.insert(pts[b * batch : (b + 1) * batch])
+        return t
+
+    m = measure(f"{kind}-{split} insert", insert10)
+    _record("insert", kind, split, m, N)
+
+    # batch deletion: 10 batches of 10% from a full tree
+    tree = _make(kind, split)
+    tree.insert(pts)
+
+    def delete10():
+        for b in range(10):
+            tree.erase(pts[b * batch : (b + 1) * batch])
+
+    m = measure(f"{kind}-{split} delete", delete10)
+    _record("delete", kind, split, m, N)
+
+    # full k-NN over the whole set, tree built in one batch
+    tree2 = _make(kind, split)
+    tree2.insert(pts)
+    m = measure(f"{kind}-{split} knn", tree2.knn, pts, 3)
+    _record("knn", kind, split, m, N)
+    run_once(benchmark, lambda: None)
+
+
+def test_bdl_object(benchmark):
+    _bench_all(benchmark, "BDL", "object")
+
+
+def test_b1_object(benchmark):
+    _bench_all(benchmark, "B1", "object")
+
+
+def test_b2_object(benchmark):
+    _bench_all(benchmark, "B2", "object")
+
+
+def test_bdl_spatial(benchmark):
+    _bench_all(benchmark, "BDL", "spatial")
+
+
+def test_b1_spatial(benchmark):
+    _bench_all(benchmark, "B1", "spatial")
+
+
+def test_b2_spatial(benchmark):
+    _bench_all(benchmark, "B2", "spatial")
+
+
+def teardown_module(module):
+    for op in ("construction", "insert", "delete", "knn"):
+        if op in _tables:
+            _tables[op].show()
+    top = THREADS[-1]
+
+    def tput(op, kind, split="object"):
+        return _series[(op, kind, split)][-1]
+
+    print("\nmeasured at 36h, object median (paper expectation in parens):")
+    print(f"  insert:  B2={tput('insert', 'B2'):.0f} BDL={tput('insert', 'BDL'):.0f} B1={tput('insert', 'B1'):.0f} ops/s (B2 > BDL > B1)")
+    print(f"  delete:  B2={tput('delete', 'B2'):.0f} BDL={tput('delete', 'BDL'):.0f} B1={tput('delete', 'B1'):.0f} ops/s (B2 >> BDL > B1)")
+    print(f"  knn:     B1={tput('knn', 'B1'):.0f} B2={tput('knn', 'B2'):.0f} BDL={tput('knn', 'BDL'):.0f} ops/s (B1/B2 > BDL after bulk build)")
+    print(f"  build:   BDL={tput('construction', 'BDL'):.0f} B1={tput('construction', 'B1'):.0f} B2={tput('construction', 'B2'):.0f} ops/s (BDL best, B2 worst)")

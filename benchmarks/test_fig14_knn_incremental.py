@@ -1,0 +1,83 @@
+"""Figure 14: k-NN throughput vs k on incrementally constructed trees.
+
+Paper: trees built by a sequence of 5% batch insertions; k-NN over the
+full set for k = 2..11, on 2D-V (VisualVar) and 7D-U.  Expected shape:
+B1 best (always rebalanced), BDL close behind, B2 significantly worse
+(tree skewed by incremental construction).
+"""
+
+import numpy as np
+
+from repro.bdl import BDLTree, InPlaceTree, RebuildTree
+from repro.bench import PAPER_CORES, Table, bench_scale, measure
+
+from conftest import data, run_once
+
+N = bench_scale(8_000)
+KS = [2, 5, 8, 11]
+_tables: dict[str, Table] = {}
+_tput: dict = {}
+
+
+def _built_incrementally(kind, pts):
+    dim = pts.shape[1]
+    t = {"BDL": lambda: BDLTree(dim, buffer_size=256),
+         "B1": lambda: RebuildTree(dim),
+         "B2": lambda: InPlaceTree(dim)}[kind]()
+    batch = max(1, len(pts) // 20)  # 5% batches
+    for i in range(0, len(pts), batch):
+        t.insert(pts[i : i + batch])
+    return t
+
+
+def _bench(benchmark, ds_name, pts, kind):
+    tree = _built_incrementally(kind, pts)
+    tab = _tables.setdefault(ds_name, Table(
+        f"Figure 14 ({ds_name}): k-NN throughput (queries/s, 36h) vs k",
+        columns=tuple(f"k={k}" for k in KS),
+    ))
+    row = []
+    for k in KS:
+        m = measure(f"{kind} k={k}", tree.knn, pts, k)
+        row.append(len(pts) / m.tp(PAPER_CORES))
+    tab.add_raw(kind, *row)
+    _tput[(ds_name, kind)] = row
+    run_once(benchmark, lambda: None)
+
+
+def test_2dv_bdl(benchmark):
+    _bench(benchmark, "2D-V", data(f"2D-V-{N}"), "BDL")
+
+
+def test_2dv_b1(benchmark):
+    _bench(benchmark, "2D-V", data(f"2D-V-{N}"), "B1")
+
+
+def test_2dv_b2(benchmark):
+    _bench(benchmark, "2D-V", data(f"2D-V-{N}"), "B2")
+
+
+def test_7du_bdl(benchmark):
+    _bench(benchmark, "7D-U", data(f"7D-U-{N}"), "BDL")
+
+
+def test_7du_b1(benchmark):
+    _bench(benchmark, "7D-U", data(f"7D-U-{N}"), "B1")
+
+
+def test_7du_b2(benchmark):
+    _bench(benchmark, "7D-U", data(f"7D-U-{N}"), "B2")
+
+
+def teardown_module(module):
+    for t in _tables.values():
+        t.show()
+    print("\nshape checks (mean throughput over k):")
+    for ds in ("2D-V", "7D-U"):
+        if (ds, "B1") not in _tput:
+            continue
+        b1 = np.mean(_tput[(ds, "B1")])
+        bdl = np.mean(_tput[(ds, "BDL")])
+        b2 = np.mean(_tput[(ds, "B2")])
+        print(f"  {ds}: B1={b1:.0f} BDL={bdl:.0f} B2={b2:.0f} queries/s "
+              f"(paper: B1 > BDL >> B2 after incremental construction)")

@@ -1,0 +1,85 @@
+"""Figure 8: 2D convex hull — runtimes across implementations/datasets.
+
+Paper setup: CGAL & Qhull (sequential baselines), RandInc, QuickHull,
+DivideConquer on 2D-{U, IS, OS, OC}-10M, 36h cores.  Here the Qhull
+baseline is literally Qhull (scipy.spatial.ConvexHull) and our
+optimized sequential quickhull plays the CGAL role.  Expected shape:
+DivideConquer fastest everywhere among parallel methods; parallel
+methods well ahead of the sequential baselines.
+"""
+
+import time
+
+import numpy as np
+from scipy.spatial import ConvexHull
+
+from repro.bench import PAPER_CORES, Table, bench_scale, measure
+from repro.hull import (
+    divide_conquer_2d,
+    quickhull2d_parallel,
+    quickhull2d_seq,
+    randinc_hull2d,
+    reservation_quickhull2d,
+)
+
+from conftest import data, run_once
+
+N = bench_scale(50_000)
+DATASETS = [f"2D-U-{N}", f"2D-IS-{N}", f"2D-OS-{N}", f"2D-OC-{N}"]
+
+_table = Table("Figure 8: 2d convex hull (T36h per implementation x dataset)")
+_t36 = {}
+
+
+SEQUENTIAL = {"Qhull", "SeqQuickHull(CGAL-role)"}
+
+
+def _bench(benchmark, ds, impl_name, fn):
+    pts = data(ds)
+    m = measure(f"{ds} {impl_name}", fn, pts)
+    # sequential baselines run on one thread in the paper: T36h == T1
+    t36 = m.t1 if impl_name in SEQUENTIAL else m.tp(PAPER_CORES)
+    _table.add_raw(m.name, m.t1, t36, m.t1 / t36)
+    _t36[(ds, impl_name)] = t36
+    run_once(benchmark, lambda: None)
+    benchmark.extra_info["t36h"] = t36
+
+
+def _qhull_seq(pts):
+    return ConvexHull(pts).vertices
+
+
+def make_tests():
+    impls = [
+        ("Qhull", _qhull_seq),
+        ("SeqQuickHull(CGAL-role)", quickhull2d_seq),
+        ("RandInc", lambda p: randinc_hull2d(p)[0]),
+        ("QuickHull", quickhull2d_parallel),
+        ("ReservationQuickHull", lambda p: reservation_quickhull2d(p)[0]),
+        ("DivideConquer", divide_conquer_2d),
+    ]
+    for ds in DATASETS:
+        for name, fn in impls:
+            test_name = f"test_{ds.replace('-', '_')}_{name.replace('(', '_').replace(')', '').replace('-', '_')}"
+
+            def t(benchmark, ds=ds, name=name, fn=fn):
+                _bench(benchmark, ds, name, fn)
+
+            globals()[test_name] = t
+
+
+make_tests()
+
+
+def teardown_module(module):
+    _table.show()
+    # shape check: DivideConquer is the fastest parallel method and
+    # beats the sequential baselines on every dataset (paper Fig. 8)
+    ok = True
+    for ds in DATASETS:
+        dc = _t36[(ds, "DivideConquer")]
+        seq = min(_t36[(ds, "Qhull")], _t36[(ds, "SeqQuickHull(CGAL-role)")])
+        if dc > seq:
+            ok = False
+            print(f"!! shape deviation on {ds}: DC {dc:.4f}s vs seq {seq:.4f}s")
+    print(f"\nshape: DivideConquer beats sequential baselines on all datasets: {ok}")

@@ -1,0 +1,94 @@
+"""Figure 9: 3D convex hull — runtimes across implementations/datasets.
+
+Paper datasets: 3D-{U, IS, OS, OC}-10M plus the Thai/Dragon scans; here
+the scans are synthetic stand-ins (DESIGN.md §1).  Expected shape:
+DivideConquer and Pseudo are the fastest; Pseudo is *relatively* slower
+on large-output datasets (IS/OS — more points survive pruning);
+RandInc/QuickHull fall behind on small-output datasets (U — reservation
+contention on few facets).
+"""
+
+import numpy as np
+from scipy.spatial import ConvexHull
+
+from repro.bench import PAPER_CORES, Table, bench_scale, measure
+from repro.generators import dragon, thai_statue
+from repro.hull import (
+    divide_conquer_3d,
+    pseudo_hull3d,
+    quickhull3d_seq,
+    randinc_hull3d,
+    reservation_quickhull3d,
+)
+
+from conftest import data, run_once
+
+N = bench_scale(20_000)
+_table = Table("Figure 9: 3d convex hull (T36h per implementation x dataset)")
+_t36 = {}
+
+
+def _points(ds):
+    if ds == "3D-Thai":
+        return thai_statue(N, seed=7).coords
+    if ds == "3D-Dragon":
+        return dragon(N, seed=11).coords
+    return data(ds)
+
+
+DATASETS = [f"3D-U-{N}", f"3D-IS-{N}", f"3D-OS-{N}", f"3D-OC-{N}", "3D-Thai", "3D-Dragon"]
+
+IMPLS = [
+    ("Qhull", lambda p: ConvexHull(p).vertices),
+    ("SeqQuickHull(CGAL-role)", lambda p: quickhull3d_seq(p)[0]),
+    ("RandInc", lambda p: randinc_hull3d(p)[0]),
+    ("QuickHull", lambda p: reservation_quickhull3d(p)[0]),
+    ("Pseudo", lambda p: pseudo_hull3d(p)[0]),
+    ("DivideConquer", lambda p: divide_conquer_3d(p)[0]),
+]
+
+
+SEQUENTIAL = {"Qhull", "SeqQuickHull(CGAL-role)"}
+
+
+def _bench(benchmark, ds, impl_name, fn):
+    pts = _points(ds)
+    m = measure(f"{ds} {impl_name}", fn, pts)
+    t36 = m.t1 if impl_name in SEQUENTIAL else m.tp(PAPER_CORES)
+    _table.add_raw(m.name, m.t1, t36, m.t1 / t36)
+    _t36[(ds, impl_name)] = t36
+    run_once(benchmark, lambda: None)
+
+
+def make_tests():
+    for ds in DATASETS:
+        for name, fn in IMPLS:
+            safe = ds.replace("-", "_")
+            sname = name.replace("(", "_").replace(")", "").replace("-", "_")
+
+            def t(benchmark, ds=ds, name=name, fn=fn):
+                _bench(benchmark, ds, name, fn)
+
+            globals()[f"test_{safe}_{sname}"] = t
+
+
+make_tests()
+
+
+def teardown_module(module):
+    _table.show()
+    # shape checks from the paper's discussion of Fig. 9
+    u, shell = f"3D-U-{N}", f"3D-IS-{N}"
+    rel_pseudo_u = _t36[(u, "Pseudo")] / _t36[(u, "DivideConquer")]
+    rel_pseudo_is = _t36[(shell, "Pseudo")] / _t36[(shell, "DivideConquer")]
+    print(
+        f"\nPseudo/DC ratio: U={rel_pseudo_u:.2f} IS={rel_pseudo_is:.2f} "
+        f"(paper: Pseudo relatively slower on larger-output IS)"
+    )
+    best_parallel_u = min(
+        _t36[(u, k)] for k in ("RandInc", "QuickHull", "Pseudo", "DivideConquer")
+    )
+    print(
+        f"fastest parallel on U: {best_parallel_u:.3f}s vs Qhull "
+        f"{_t36[(u, 'Qhull')]:.3f}s"
+    )

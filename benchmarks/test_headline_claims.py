@@ -1,0 +1,88 @@
+"""The abstract's headline numbers: self-relative speedups.
+
+Paper claims (36 cores, 2-way hyper-threading, 10M points):
+* fastest convex hull: up to 44.7x self-relative speedup;
+* sampling-based SEB: up to 27.1x;
+* BDL-tree: construction up to 35.4x, insert up to 35.0x, delete up to
+  33.1x, full k-NN up to 46.1x;
+* across all implementations: 8.1–46.6x.
+
+This bench prints the modeled self-relative speedup curve (p = 1..36h)
+for each headline algorithm, so the scalability claims can be compared
+directly.
+"""
+
+import numpy as np
+
+from repro.bdl import BDLTree
+from repro.bench import Table, bench_scale, measure
+from repro.hull import divide_conquer_2d, quickhull2d_parallel
+from repro.parlay.workdepth import HYPERTHREAD_FACTOR, simulated_speedup
+from repro.seb import sampling_seb
+
+from conftest import data, run_once
+
+THREADS = [1, 2, 4, 8, 18, 36, 36 * HYPERTHREAD_FACTOR]
+N = bench_scale(50_000)
+
+_table = Table(
+    "Headline self-relative speedups vs simulated threads",
+    columns=tuple(f"p={p:g}" for p in THREADS),
+)
+_peak = {}
+
+
+def _curve(name, fn, *args):
+    m = measure(name, fn, *args)
+    row = [max(1.0, simulated_speedup(m.cost, p)) for p in THREADS]
+    _table.add_raw(name, *row)
+    _peak[name] = row[-1]
+
+
+def test_hull_speedup(benchmark):
+    pts = data(f"2D-U-{N}")
+    _curve("convex hull 2d (quickhull)", quickhull2d_parallel, pts)
+    _curve("convex hull 2d (divide&conquer)", divide_conquer_2d, pts)
+    run_once(benchmark, lambda: None)
+
+
+def test_seb_speedup(benchmark):
+    pts = data(f"2D-U-{N}")
+    _curve("SEB (sampling)", sampling_seb, pts)
+    run_once(benchmark, lambda: None)
+
+
+def test_bdl_speedup(benchmark):
+    pts = data(f"5D-U-{bench_scale(10_000)}")
+    batch = len(pts) // 10
+
+    def build():
+        t = BDLTree(5, buffer_size=512)
+        t.insert(pts)
+        return t
+
+    _curve("BDL construction", build)
+    tree = build()
+    _curve("BDL full k-NN (k=5)", tree.knn, pts, 5)
+
+    def deletes():
+        for b in range(10):
+            tree.erase(pts[b * batch : (b + 1) * batch])
+
+    _curve("BDL batch delete", deletes)
+    run_once(benchmark, lambda: None)
+
+
+def teardown_module(module):
+    _table.show()
+    print("\npeak modeled self-relative speedups (paper claims in parens):")
+    claims = {
+        "convex hull 2d (divide&conquer)": "44.7x",
+        "SEB (sampling)": "27.1x",
+        "BDL construction": "35.4x",
+        "BDL batch delete": "33.1x",
+        "BDL full k-NN (k=5)": "46.1x",
+    }
+    for name, claim in claims.items():
+        if name in _peak:
+            print(f"  {name}: {_peak[name]:.1f}x (paper: up to {claim})")

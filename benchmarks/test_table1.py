@@ -1,0 +1,182 @@
+"""Table 1: T1 / T36h / self-relative speedup for every ParGeo module.
+
+The paper runs each implementation on uniform data (10M points; 2d or
+5d as listed) and reports single-thread time, 36-core hyper-threaded
+time, and the speedup.  We measure T1 (wall-clock) and obtain T36h from
+the work-depth cost model (DESIGN.md §1).  Expected shape: speedups
+largest for the data-parallel query benchmarks (k-NN, range search,
+β-skeleton), moderate for build-style benchmarks, smallest for the
+update-heavy batch-dynamic operations — matching the paper's 8.1–46.6x
+spread.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bdl import BDLTree
+from repro.bench import PAPER_CORES, Table, bench_scale, measure
+from repro.closestpair import closest_pair
+from repro.delaunay import delaunay
+from repro.emst import emst
+from repro.graphs import beta_skeleton, gabriel_graph, knn_graph, wspd_spanner
+from repro.hull import divide_conquer_2d, divide_conquer_3d
+from repro.kdtree import KDTree
+from repro.seb import sampling_seb
+from repro.wspd import wspd
+
+from conftest import data, run_once
+
+_table = Table("Table 1: runtimes and speedups (uniform data)")
+
+N2 = bench_scale(20_000)
+N5 = bench_scale(10_000)
+NG = bench_scale(8_000)  # graph benchmarks (delaunay-bound)
+
+
+def _row(benchmark, name, fn, *args, **kwargs):
+    m = measure(name, fn, *args, **kwargs)
+    _table.add(m)
+    benchmark.extra_info["t1"] = m.t1
+    benchmark.extra_info["speedup_36h"] = m.speedup(PAPER_CORES)
+    run_once(benchmark, lambda: None)
+    assert m.speedup(PAPER_CORES) >= 1.0
+
+
+def test_kdtree_build_2d(benchmark):
+    pts = data(f"2D-U-{N2}")
+    _row(benchmark, "kd-tree Build (2d)", KDTree, pts)
+
+
+def test_kdtree_build_5d(benchmark):
+    pts = data(f"5D-U-{N5}")
+    _row(benchmark, "kd-tree Build (5d)", KDTree, pts)
+
+
+def test_kdtree_knn_2d(benchmark):
+    pts = data(f"2D-U-{N2}")
+    t = KDTree(pts)
+    _row(benchmark, "kd-tree k-NN (2d, k=5)", t.knn, pts, 5)
+
+
+def test_kdtree_range_2d(benchmark):
+    from repro.kdtree import range_query_batch
+
+    pts = data(f"2D-U-{N2}")
+    t = KDTree(pts)
+    side = np.sqrt(N2)
+    rng = np.random.default_rng(0)
+    centers = rng.uniform(0, side, size=(500, 2))
+    los = centers - side * 0.02
+    his = centers + side * 0.02
+    _row(benchmark, "kd-tree Range Search (2d)", range_query_batch, t, los, his)
+
+
+def test_bdl_construction_5d(benchmark):
+    pts = data(f"5D-U-{N5}")
+
+    def build():
+        t = BDLTree(5, buffer_size=512)
+        t.insert(pts)
+        return t
+
+    _row(benchmark, "Batch-dynamic kd-tree Construction (5d)", build)
+
+
+def test_bdl_insert_5d(benchmark):
+    pts = data(f"5D-U-{N5}")
+    batch = len(pts) // 10
+
+    def run():
+        t = BDLTree(5, buffer_size=512)
+        for b in range(10):
+            t.insert(pts[b * batch : (b + 1) * batch])
+        return t
+
+    _row(benchmark, "Batch-dynamic kd-tree Insert (5d)", run)
+
+
+def test_bdl_delete_5d(benchmark):
+    pts = data(f"5D-U-{N5}")
+    batch = len(pts) // 10
+    t = BDLTree(5, buffer_size=512)
+    t.insert(pts)
+
+    def run():
+        for b in range(10):
+            t.erase(pts[b * batch : (b + 1) * batch])
+
+    _row(benchmark, "Batch-dynamic kd-tree Delete (5d)", run)
+
+
+def test_wspd_2d(benchmark):
+    pts = data(f"2D-U-{N5}")
+    t = KDTree(pts, leaf_size=1)
+    _row(benchmark, "WSPD (2d)", wspd, t, 2.0)
+
+
+def test_emst_2d(benchmark):
+    pts = data(f"2D-U-{N5}")
+    _row(benchmark, "EMST (2d)", emst, pts)
+
+
+def test_convex_hull_2d(benchmark):
+    pts = data(f"2D-U-{N2}")
+    _row(benchmark, "Convex Hull (2d)", divide_conquer_2d, pts)
+
+
+def test_convex_hull_3d(benchmark):
+    pts = data(f"3D-U-{N2}")
+    _row(benchmark, "Convex Hull (3d)", divide_conquer_3d, pts)
+
+
+def test_seb_2d(benchmark):
+    pts = data(f"2D-U-{N2}")
+    _row(benchmark, "Smallest Enclosing Ball (2d)", sampling_seb, pts)
+
+
+def test_seb_5d(benchmark):
+    pts = data(f"5D-U-{N5}")
+    _row(benchmark, "Smallest Enclosing Ball (5d)", sampling_seb, pts)
+
+
+def test_closest_pair_2d(benchmark):
+    pts = data(f"2D-U-{N2}")
+    _row(benchmark, "Closest Pair (2d)", closest_pair, pts)
+
+
+def test_closest_pair_3d(benchmark):
+    pts = data(f"3D-U-{N2}")
+    _row(benchmark, "Closest Pair (3d)", closest_pair, pts)
+
+
+def test_knn_graph_2d(benchmark):
+    pts = data(f"2D-U-{N2}")
+    _row(benchmark, "k-NN Graph (2d, k=5)", knn_graph, pts, 5)
+
+
+def test_delaunay_graph_2d(benchmark):
+    pts = data(f"2D-U-{NG}")
+    _row(benchmark, "Delaunay Graph (2d)", delaunay, pts)
+
+
+def test_gabriel_graph_2d(benchmark):
+    pts = data(f"2D-U-{NG}")
+    _row(benchmark, "Gabriel Graph (2d)", gabriel_graph, pts)
+
+
+def test_beta_skeleton_2d(benchmark):
+    pts = data(f"2D-U-{NG}")
+    _row(benchmark, "Beta-skeleton Graph (2d, b=1.5)", beta_skeleton, pts, 1.5)
+
+
+def test_spanner_2d(benchmark):
+    pts = data(f"2D-U-{N5}")
+    _row(benchmark, "Spanner (2d, s=8)", wspd_spanner, pts, 8.0)
+
+
+def teardown_module(module):
+    _table.show()
+    speedups = [r[3] for r in _table.rows]
+    lo, hi = min(speedups), max(speedups)
+    print(f"\nspeedup range {lo:.1f}x - {hi:.1f}x "
+          f"(paper: 8.1x - 46.6x at 10M points on 36h cores)")

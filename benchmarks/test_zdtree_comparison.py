@@ -1,0 +1,68 @@
+"""§6.3: BDL-tree vs the Morton-ordered Zd-tree on 3D-U.
+
+The paper reports the Zd-tree (Blelloch & Dobson) is much faster for
+construction/insert/delete in low dimensions (highly-optimized Morton
+sort) while k-NN is comparable.  Our Zd-tree stand-in is the
+sorted-Morton-array structure; expected shape: Zd-tree wins updates,
+k-NN within a small factor.
+"""
+
+import numpy as np
+
+from repro.bdl import BDLTree
+from repro.bench import Table, bench_scale, measure
+from repro.spatialsort import ZdTree
+
+from conftest import data, run_once
+
+N = bench_scale(20_000)
+_table = Table("Zd-tree vs BDL-tree (3D uniform)", columns=("T1", "T36h", "speedup"))
+_t1 = {}
+
+
+def _bench(benchmark, kind):
+    pts = data(f"3D-U-{N}")
+    batch = N // 10
+    make = (lambda: ZdTree(3)) if kind == "Zd" else (lambda: BDLTree(3, buffer_size=512))
+
+    def construct():
+        t = make()
+        t.insert(pts)
+        return t
+
+    m = measure(f"{kind} construct", construct)
+    _table.add(m)
+    _t1[(kind, "construct")] = m.t1
+
+    tree = make()
+    tree.insert(pts)
+
+    m = measure(f"{kind} insert 10%", tree.insert, pts[:batch])
+    _table.add(m)
+    _t1[(kind, "insert")] = m.t1
+
+    m = measure(f"{kind} delete 10%", tree.erase, pts[:batch])
+    _table.add(m)
+    _t1[(kind, "delete")] = m.t1
+
+    m = measure(f"{kind} knn k=3", tree.knn, pts[: N // 4], 3)
+    _table.add(m)
+    _t1[(kind, "knn")] = m.t1
+    run_once(benchmark, lambda: None)
+
+
+def test_zdtree(benchmark):
+    _bench(benchmark, "Zd")
+
+
+def test_bdltree(benchmark):
+    _bench(benchmark, "BDL")
+
+
+def teardown_module(module):
+    _table.show()
+    print("\nBDL/Zd time ratios (paper: 3.3x construct, 23.1x insert, "
+          "45.8x delete slower; ~1x knn):")
+    for op in ("construct", "insert", "delete", "knn"):
+        r = _t1[("BDL", op)] / max(_t1[("Zd", op)], 1e-12)
+        print(f"  {op}: {r:.2f}x")

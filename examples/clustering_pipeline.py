@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Density-based clustering pipeline (paper Fig. 1: kd-tree → WSPD →
+EMST → hierarchical clustering).
+
+Works through the dependency chain the ParGeo architecture diagram
+shows: a kd-tree accelerates k-NN (core distances) and the WSPD drives
+the EMST; single-linkage over mutual reachability yields the HDBSCAN*
+hierarchy; plain DBSCAN runs off kd-tree range queries.
+
+Run:  python examples/clustering_pipeline.py
+"""
+
+import numpy as np
+
+import repro
+from repro.clustering import core_distances
+
+
+def main() -> None:
+    # clustered data with background noise (VisualVar-style)
+    pts = repro.visual_var(4_000, 2, seed=5, n_clusters=6, noise=0.08)
+    coords = pts.coords
+    print(f"clustering {pts}")
+
+    # step 1: kd-tree core distances (the k-NN module)
+    min_pts = 8
+    cd = core_distances(coords, min_pts)
+    print(f"core distances (min_pts={min_pts}): "
+          f"median={np.median(cd):.3f}, 90th pct={np.quantile(cd, 0.9):.3f}")
+
+    # step 2: HDBSCAN* hierarchy (mutual-reachability EMST)
+    dend = repro.hdbscan(coords, min_pts=min_pts)
+    # pick the cut with the most 20+ point clusters (simple model selection)
+    best = None
+    for h in np.quantile(dend.heights, [0.5, 0.7, 0.8, 0.9, 0.95, 0.99]):
+        labels = dend.cut(h)
+        sizes = np.bincount(labels)
+        big = int((sizes >= 20).sum())
+        if best is None or big > best[0]:
+            best = (big, h, labels)
+    big, h, labels = best
+    print(f"HDBSCAN* cut at h={h:.3f}: {big} clusters with >= 20 points")
+
+    # step 3: DBSCAN with eps from the core-distance distribution
+    eps = float(np.quantile(cd, 0.85))
+    db = repro.dbscan(coords, eps=eps, min_pts=min_pts)
+    n_clusters = len(set(db.tolist()) - {-1})
+    noise_frac = float((db == -1).mean())
+    print(f"DBSCAN(eps={eps:.3f}): {n_clusters} clusters, "
+          f"{noise_frac:.1%} noise")
+
+    # step 4: summarize each DBSCAN cluster with its enclosing ball
+    print("cluster summaries (smallest enclosing balls):")
+    for c in sorted(set(db.tolist()) - {-1})[:8]:
+        members = coords[db == c]
+        if len(members) < 10:
+            continue
+        ball = repro.smallest_enclosing_ball(members, method="sampling")
+        print(f"  cluster {c}: {len(members):>5} pts, "
+              f"center={np.round(ball.center, 1)}, r={ball.radius:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: the core ParGeo-reproduction API in one tour.
+
+Generates a point set, then runs the library's headline algorithms:
+convex hull, smallest enclosing ball, kd-tree queries, batch-dynamic
+updates, EMST, and clustering.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # Module (4): dataset generators, named like the paper ("2D-U-20K")
+    pts = repro.dataset("2D-U-20K", seed=42)
+    print(f"dataset: {pts}")
+
+    # -- convex hull (paper §3) -------------------------------------------
+    hull = repro.convex_hull(pts, method="divide_conquer")
+    print(f"convex hull: {len(hull)} vertices (divide-and-conquer)")
+    hull2 = repro.convex_hull(pts, method="randinc")
+    assert set(hull.tolist()) == set(hull2.tolist())
+    print("             randomized-incremental agrees")
+
+    # -- smallest enclosing ball (paper §4) --------------------------------
+    ball = repro.smallest_enclosing_ball(pts, method="sampling")
+    print(f"smallest enclosing ball: center={np.round(ball.center, 2)} "
+          f"radius={ball.radius:.3f}")
+    assert ball.contains_all(pts.coords, tol=1e-8)
+
+    # -- kd-tree spatial search (paper §5 / Module 1) ----------------------
+    tree = repro.KDTree(pts)
+    dists, ids = tree.knn(pts.coords[:5], k=3, exclude_self=True)
+    print(f"3-NN of first point: ids={ids[0].tolist()} "
+          f"dists={np.round(np.sqrt(dists[0]), 3).tolist()}")
+    in_box = tree.range_query_box([0, 0], [20, 20])
+    print(f"range query [0,20]^2: {len(in_box)} points")
+
+    # -- batch-dynamic kd-tree (BDL-tree) -----------------------------------
+    bdl = repro.BDLTree(dim=2, buffer_size=512)
+    bdl.insert(pts.coords[:10_000])
+    bdl.insert(pts.coords[10_000:])
+    bdl.erase(pts.coords[:5_000])
+    d, i = bdl.knn(pts.coords[:3], k=2)
+    print(f"BDL-tree after insert+delete: {bdl.size()} points, "
+          f"bitmask={bin(bdl.bitmask)}")
+
+    # -- EMST and clustering -------------------------------------------------
+    small = pts.coords[:3_000]
+    edges, weights = repro.emst(small)
+    print(f"EMST over 3k points: {len(edges)} edges, "
+          f"total length {weights.sum():.1f}")
+
+    clustered = repro.visual_var(2_000, 2, seed=7)
+    dend = repro.hdbscan(clustered.coords, min_pts=5)
+    labels = dend.cut(np.median(dend.heights) * 3)
+    print(f"HDBSCAN*: {len(np.unique(labels))} clusters at the chosen cut")
+
+
+if __name__ == "__main__":
+    main()

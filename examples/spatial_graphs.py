@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Spatial network construction (paper Module (3)).
+
+Builds the full proximity-graph hierarchy over one point set — k-NN
+graph, Delaunay, Gabriel, β-skeleton, EMST, WSPD spanner — and verifies
+the classical inclusion chain EMST ⊆ Gabriel ⊆ Delaunay, then measures
+spanner stretch.  This is the workload a GIS / mesh-generation user
+would run.
+
+Run:  python examples/spatial_graphs.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def edge_set(g: "repro.Graph") -> set:
+    return set(map(tuple, g.edges.tolist()))
+
+
+def main() -> None:
+    pts = repro.dataset("2D-V-2K", seed=3)  # clustered, varying density
+    coords = pts.coords
+    print(f"building proximity graphs over {pts}")
+
+    graphs = {
+        "kNN (k=6)": repro.knn_graph(coords, 6),
+        "Delaunay": repro.delaunay_graph(coords),
+        "Gabriel": repro.gabriel_graph(coords),
+        "beta-skeleton (1.5)": repro.beta_skeleton(coords, 1.5),
+        "EMST": repro.emst_graph(coords),
+        "WSPD spanner (s=8)": repro.wspd_spanner(coords, s=8),
+    }
+    for name, g in graphs.items():
+        print(f"  {name:<22} {g.m:>7} edges, total length {g.total_weight():.1f}")
+
+    # the classic inclusion chain
+    emst_e = edge_set(graphs["EMST"])
+    gabriel_e = edge_set(graphs["Gabriel"])
+    delaunay_e = edge_set(graphs["Delaunay"])
+    beta_e = edge_set(graphs["beta-skeleton (1.5)"])
+    assert emst_e <= gabriel_e <= delaunay_e
+    assert beta_e <= gabriel_e
+    print("inclusions verified: EMST ⊆ Gabriel ⊆ Delaunay, "
+          "β-skeleton(1.5) ⊆ Gabriel")
+
+    # spanner stretch on sampled pairs
+    nx_g = graphs["WSPD spanner (s=8)"].to_networkx()
+    import networkx as nx
+
+    rng = np.random.default_rng(0)
+    worst = 0.0
+    for _ in range(200):
+        i, j = rng.integers(0, len(coords), size=2)
+        if i == j:
+            continue
+        direct = float(np.linalg.norm(coords[i] - coords[j]))
+        sp = nx.dijkstra_path_length(nx_g, int(i), int(j))
+        worst = max(worst, sp / direct)
+    print(f"spanner stretch over 200 sampled pairs: {worst:.3f} "
+          f"(guarantee: {(8 + 4) / (8 - 4):.1f})")
+
+
+if __name__ == "__main__":
+    main()

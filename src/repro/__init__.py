@@ -1,0 +1,102 @@
+"""repro — a Python reproduction of **ParGeo: A Library for Parallel
+Computational Geometry** (Wang et al., PPoPP 2022).
+
+Modules mirror the paper's architecture (Figure 1):
+
+* :mod:`repro.parlay` — the ParlayLib-equivalent substrate: fork-join
+  scheduler, data-parallel primitives, parallel sort, priority writes,
+  and the work-depth cost model that simulates multicore speedups.
+* :mod:`repro.kdtree` — static vEB-layout kd-tree: build, k-NN, range
+  search, batch deletion (Module 1).
+* :mod:`repro.bdl` — the BDL batch-dynamic kd-tree + B1/B2 baselines.
+* :mod:`repro.hull` — convex hull in R^2/R^3 incl. the reservation-based
+  parallel incremental algorithms (Module 2).
+* :mod:`repro.seb` — smallest enclosing ball: Welzl variants, orthant
+  scan, the new sampling algorithm (Module 2).
+* :mod:`repro.wspd`, :mod:`repro.emst`, :mod:`repro.closestpair`,
+  :mod:`repro.delaunay`, :mod:`repro.spatialsort`,
+  :mod:`repro.clustering` — the remaining Module-2 algorithms.
+* :mod:`repro.graphs` — spatial graph generators (Module 3).
+* :mod:`repro.generators` — benchmark data generators (Module 4).
+
+Quickstart::
+
+    import repro
+    pts = repro.uniform(100_000, 2, seed=0)
+    hull = repro.convex_hull(pts)
+    ball = repro.smallest_enclosing_ball(pts)
+    tree = repro.KDTree(pts)
+    dists, ids = tree.knn(pts[:10], k=5)
+"""
+
+from .bdl import BDLTree, InPlaceTree, RebuildTree
+from .clustering import dbscan, hdbscan
+from .closestpair import bccp_points, closest_pair
+from .core import PointSet, as_points
+from .delaunay import delaunay
+from .emst import emst
+from .generators import (
+    dataset,
+    dragon,
+    in_sphere,
+    on_cube,
+    on_sphere,
+    thai_statue,
+    uniform,
+    visual_var,
+)
+from .graphs import (
+    Graph,
+    beta_skeleton,
+    delaunay_graph,
+    emst_graph,
+    gabriel_graph,
+    knn_graph,
+    wspd_spanner,
+)
+from .hull import convex_hull
+from .kdtree import KDTree
+from .parlay import set_backend, use_backend
+from .seb import Ball, smallest_enclosing_ball
+from .spatialsort import ZdTree, morton_sort
+from .wspd import wspd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BDLTree",
+    "Ball",
+    "Graph",
+    "InPlaceTree",
+    "KDTree",
+    "PointSet",
+    "RebuildTree",
+    "ZdTree",
+    "as_points",
+    "bccp_points",
+    "beta_skeleton",
+    "closest_pair",
+    "convex_hull",
+    "dataset",
+    "dbscan",
+    "delaunay",
+    "delaunay_graph",
+    "dragon",
+    "emst",
+    "emst_graph",
+    "gabriel_graph",
+    "hdbscan",
+    "in_sphere",
+    "knn_graph",
+    "morton_sort",
+    "on_cube",
+    "on_sphere",
+    "set_backend",
+    "smallest_enclosing_ball",
+    "thai_statue",
+    "uniform",
+    "use_backend",
+    "visual_var",
+    "wspd",
+    "wspd_spanner",
+]

@@ -1,0 +1,10 @@
+"""``repro.bdl`` — the BDL-tree (batch-dynamic log-structured kd-tree).
+
+Paper §5 and Appendix C, plus the B1 (rebuild) and B2 (in-place)
+baselines from the evaluation in §6.3.
+"""
+
+from .baselines import InPlaceTree, RebuildTree
+from .bdltree import BDLTree
+
+__all__ = ["BDLTree", "InPlaceTree", "RebuildTree"]

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror ParGeo's executable tools: generate datasets, run an
+algorithm over a point file, and report timings.
+
+Examples::
+
+    python -m repro generate 2D-U-100K -o pts.npy
+    python -m repro hull pts.npy --method divide_conquer
+    python -m repro seb pts.npy --method sampling
+    python -m repro knn pts.npy -k 8 -o neighbors.csv
+    python -m repro emst pts.npy -o mst.csv
+    python -m repro graph pts.npy --kind gabriel -o edges.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _load(path: str):
+    from .generators.io import load_points
+
+    return load_points(path)
+
+
+def cmd_generate(args) -> int:
+    from .generators import dataset
+    from .generators.io import save_points
+
+    pts = dataset(args.name, seed=args.seed)
+    save_points(args.output, pts)
+    print(f"wrote {pts} to {args.output}")
+    return 0
+
+
+def cmd_hull(args) -> int:
+    from .hull import convex_hull
+
+    pts = _load(args.input)
+    t0 = time.perf_counter()
+    h = convex_hull(pts, method=args.method)
+    dt = time.perf_counter() - t0
+    print(f"hull: {len(h)} vertices in {dt:.3f}s ({args.method})")
+    if args.output:
+        np.savetxt(args.output, h, fmt="%d")
+    return 0
+
+
+def cmd_seb(args) -> int:
+    from .seb import smallest_enclosing_ball
+
+    pts = _load(args.input)
+    t0 = time.perf_counter()
+    b = smallest_enclosing_ball(pts, method=args.method)
+    dt = time.perf_counter() - t0
+    print(f"ball: center={b.center.tolist()} radius={b.radius:.6g} in {dt:.3f}s")
+    return 0
+
+
+def cmd_knn(args) -> int:
+    from .kdtree import KDTree
+
+    pts = _load(args.input)
+    t0 = time.perf_counter()
+    tree = KDTree(pts, split=args.split)
+    d, i = tree.knn(pts.coords, args.k, exclude_self=True)
+    dt = time.perf_counter() - t0
+    print(f"k-NN (k={args.k}) over {len(pts)} points in {dt:.3f}s")
+    if args.output:
+        np.savetxt(args.output, i, fmt="%d", delimiter=",")
+    return 0
+
+
+def cmd_emst(args) -> int:
+    from .emst import emst
+
+    pts = _load(args.input)
+    t0 = time.perf_counter()
+    e, w = emst(pts)
+    dt = time.perf_counter() - t0
+    print(f"emst: {len(e)} edges, total weight {w.sum():.6g} in {dt:.3f}s")
+    if args.output:
+        np.savetxt(args.output, np.column_stack([e, w]), delimiter=",")
+    return 0
+
+
+def cmd_graph(args) -> int:
+    from .graphs import (
+        beta_skeleton,
+        delaunay_graph,
+        emst_graph,
+        gabriel_graph,
+        knn_graph,
+        wspd_spanner,
+    )
+
+    pts = _load(args.input)
+    builders = {
+        "knn": lambda p: knn_graph(p, args.k),
+        "delaunay": delaunay_graph,
+        "gabriel": gabriel_graph,
+        "beta": lambda p: beta_skeleton(p, args.beta),
+        "emst": emst_graph,
+        "spanner": lambda p: wspd_spanner(p, s=args.separation),
+    }
+    t0 = time.perf_counter()
+    g = builders[args.kind](pts.coords)
+    dt = time.perf_counter() - t0
+    print(f"{args.kind} graph: {g.m} edges over {g.n} points in {dt:.3f}s")
+    if args.output:
+        np.savetxt(args.output, np.column_stack([g.edges, g.weights]), delimiter=",")
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from .clustering import dbscan
+
+    pts = _load(args.input)
+    t0 = time.perf_counter()
+    labels = dbscan(pts, eps=args.eps, min_pts=args.min_pts)
+    dt = time.perf_counter() - t0
+    k = len(set(labels.tolist()) - {-1})
+    noise = float((labels == -1).mean())
+    print(f"dbscan: {k} clusters, {noise:.1%} noise in {dt:.3f}s")
+    if args.output:
+        np.savetxt(args.output, labels, fmt="%d")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="create a synthetic dataset")
+    g.add_argument("name", help="paper-style name, e.g. 2D-U-100K")
+    g.add_argument("-o", "--output", required=True)
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(fn=cmd_generate)
+
+    h = sub.add_parser("hull", help="convex hull (2d/3d)")
+    h.add_argument("input")
+    h.add_argument("--method", default="divide_conquer",
+                   choices=["divide_conquer", "quickhull", "randinc", "pseudo"])
+    h.add_argument("-o", "--output")
+    h.set_defaults(fn=cmd_hull)
+
+    s = sub.add_parser("seb", help="smallest enclosing ball")
+    s.add_argument("input")
+    s.add_argument("--method", default="sampling",
+                   choices=["sampling", "orthant", "welzl", "welzl_mtf",
+                            "welzl_mtf_pivot", "parallel_welzl"])
+    s.set_defaults(fn=cmd_seb)
+
+    k = sub.add_parser("knn", help="all-points k nearest neighbors")
+    k.add_argument("input")
+    k.add_argument("-k", type=int, default=5)
+    k.add_argument("--split", default="object", choices=["object", "spatial"])
+    k.add_argument("-o", "--output")
+    k.set_defaults(fn=cmd_knn)
+
+    e = sub.add_parser("emst", help="Euclidean minimum spanning tree")
+    e.add_argument("input")
+    e.add_argument("-o", "--output")
+    e.set_defaults(fn=cmd_emst)
+
+    gr = sub.add_parser("graph", help="spatial graph generators")
+    gr.add_argument("input")
+    gr.add_argument("--kind", required=True,
+                    choices=["knn", "delaunay", "gabriel", "beta", "emst", "spanner"])
+    gr.add_argument("-k", type=int, default=5)
+    gr.add_argument("--beta", type=float, default=1.5)
+    gr.add_argument("--separation", type=float, default=8.0)
+    gr.add_argument("-o", "--output")
+    gr.set_defaults(fn=cmd_graph)
+
+    c = sub.add_parser("cluster", help="DBSCAN clustering")
+    c.add_argument("input")
+    c.add_argument("--eps", type=float, required=True)
+    c.add_argument("--min-pts", type=int, default=8)
+    c.add_argument("-o", "--output")
+    c.set_defaults(fn=cmd_cluster)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

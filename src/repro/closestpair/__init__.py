@@ -1,0 +1,7 @@
+"""``repro.closestpair`` — closest pair (divide-and-conquer) and
+bichromatic closest pair (dual-tree; re-exported from repro.emst)."""
+
+from ..emst.bccp import bccp_points
+from .divide_conquer import closest_pair
+
+__all__ = ["bccp_points", "closest_pair"]

@@ -1,0 +1,12 @@
+"""``repro.clustering`` — DBSCAN and hierarchical DBSCAN*."""
+
+from .dbscan import dbscan
+from .hdbscan import Dendrogram, core_distances, hdbscan, mutual_reachability_mst
+
+__all__ = [
+    "Dendrogram",
+    "core_distances",
+    "dbscan",
+    "hdbscan",
+    "mutual_reachability_mst",
+]

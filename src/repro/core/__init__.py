@@ -1,0 +1,38 @@
+"""``repro.core`` — geometry kernel: points, predicates, boxes, distances."""
+
+from .bbox import BBox, bbox_of
+from .distance import (
+    cross_dists_sq,
+    dist,
+    dist_sq,
+    dists_sq_to_point,
+    pairwise_dists_sq,
+)
+from .points import PointSet, as_array, as_points
+from .predicates import (
+    incircle,
+    incircle_batch,
+    orient2d,
+    orient2d_batch,
+    orient3d,
+    orient3d_batch,
+)
+
+__all__ = [
+    "BBox",
+    "PointSet",
+    "as_array",
+    "as_points",
+    "bbox_of",
+    "cross_dists_sq",
+    "dist",
+    "dist_sq",
+    "dists_sq_to_point",
+    "incircle",
+    "incircle_batch",
+    "orient2d",
+    "orient2d_batch",
+    "orient3d",
+    "orient3d_batch",
+    "pairwise_dists_sq",
+]

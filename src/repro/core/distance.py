@@ -1,0 +1,53 @@
+"""Distance kernels (vectorized, cost-charged)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parlay.workdepth import charge
+
+__all__ = [
+    "dist_sq",
+    "dist",
+    "dists_sq_to_point",
+    "pairwise_dists_sq",
+    "cross_dists_sq",
+]
+
+
+def dist_sq(a: np.ndarray, b: np.ndarray) -> float:
+    """Squared Euclidean distance between two points."""
+    d = a - b
+    return float(d @ d)
+
+
+def dist(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.sqrt(dist_sq(a, b)))
+
+
+def dists_sq_to_point(pts: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Squared distances from every row of pts to q.  W=n*d, D=log n."""
+    n = len(pts)
+    charge(max(n, 1) * pts.shape[1] if n else 1)
+    d = pts - q
+    return np.einsum("ij,ij->i", d, d)
+
+
+def pairwise_dists_sq(pts: np.ndarray) -> np.ndarray:
+    """Full (n, n) squared distance matrix.  W=n^2 d, D=log n."""
+    n = len(pts)
+    charge(max(n * n, 1))
+    sq = np.einsum("ij,ij->i", pts, pts)
+    out = sq[:, None] + sq[None, :] - 2.0 * (pts @ pts.T)
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def cross_dists_sq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(|a|, |b|) matrix of squared distances.  W=|a||b|d, D=log(|a||b|)."""
+    charge(max(len(a) * len(b), 1))
+    sa = np.einsum("ij,ij->i", a, a)
+    sb = np.einsum("ij,ij->i", b, b)
+    out = sa[:, None] + sb[None, :] - 2.0 * (a @ b.T)
+    np.maximum(out, 0.0, out=out)
+    return out

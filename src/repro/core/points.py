@@ -1,0 +1,84 @@
+"""Point-set container used throughout the library.
+
+A :class:`PointSet` is a thin, immutable-by-convention wrapper over an
+``(n, d)`` float64 numpy array.  All algorithms accept either a raw
+array or a PointSet; use :func:`as_points` at public API boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PointSet", "as_points", "as_array"]
+
+
+class PointSet:
+    """An ordered set of n points in R^d, backed by an (n, d) array."""
+
+    __slots__ = ("coords",)
+
+    def __init__(self, coords: np.ndarray):
+        coords = np.ascontiguousarray(coords, dtype=np.float64)
+        if coords.ndim != 2:
+            raise ValueError(f"expected (n, d) array, got shape {coords.shape}")
+        self.coords = coords
+
+    # -- basic protocol ------------------------------------------------------
+    def __len__(self) -> int:
+        return self.coords.shape[0]
+
+    def __getitem__(self, idx) -> np.ndarray:
+        return self.coords[idx]
+
+    def __iter__(self):
+        return iter(self.coords)
+
+    def __repr__(self) -> str:
+        return f"PointSet(n={len(self)}, d={self.dim})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PointSet):
+            return NotImplemented
+        return self.coords.shape == other.coords.shape and bool(
+            np.all(self.coords == other.coords)
+        )
+
+    # -- properties ----------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Dimensionality d of the ambient space."""
+        return self.coords.shape[1]
+
+    @property
+    def n(self) -> int:
+        return self.coords.shape[0]
+
+    # -- convenience -----------------------------------------------------------
+    def subset(self, idx) -> "PointSet":
+        """A new PointSet of the rows selected by ``idx``."""
+        return PointSet(self.coords[idx])
+
+    def concat(self, other: "PointSet") -> "PointSet":
+        if self.dim != other.dim:
+            raise ValueError("dimension mismatch")
+        return PointSet(np.vstack([self.coords, other.coords]))
+
+    def copy(self) -> "PointSet":
+        return PointSet(self.coords.copy())
+
+
+def as_points(data) -> PointSet:
+    """Coerce an array-like or PointSet into a PointSet."""
+    if isinstance(data, PointSet):
+        return data
+    return PointSet(np.asarray(data, dtype=np.float64))
+
+
+def as_array(data) -> np.ndarray:
+    """Coerce a PointSet or array-like into a contiguous (n, d) array."""
+    if isinstance(data, PointSet):
+        return data.coords
+    arr = np.ascontiguousarray(data, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (n, d) array, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,5 @@
+"""``repro.delaunay`` — 2D Delaunay triangulation (Bowyer–Watson)."""
+
+from .triangulation import DelaunayTriangulation, delaunay
+
+__all__ = ["DelaunayTriangulation", "delaunay"]

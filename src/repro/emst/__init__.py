@@ -1,0 +1,8 @@
+"""``repro.emst`` — Euclidean minimum spanning tree (WSPD-based) and the
+union-find / bichromatic-closest-pair substrates it builds on."""
+
+from .bccp import bccp_nodes, bccp_points
+from .emst import emst, emst_from_tree
+from .unionfind import UnionFind
+
+__all__ = ["UnionFind", "bccp_nodes", "bccp_points", "emst", "emst_from_tree"]

@@ -1,0 +1,47 @@
+"""Union-find (disjoint sets) with path compression and union by rank."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parlay.workdepth import charge
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Array-based disjoint-set forest over n elements."""
+
+    __slots__ = ("parent", "rank", "n_components")
+
+    def __init__(self, n: int):
+        self.parent = np.arange(n, dtype=np.int64)
+        self.rank = np.zeros(n, dtype=np.int8)
+        self.n_components = n
+
+    def find(self, x: int) -> int:
+        charge(1, 1)
+        root = x
+        p = self.parent
+        while p[root] != root:
+            root = p[root]
+        # path compression
+        while p[x] != root:
+            p[x], x = root, p[x]
+        return int(root)
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of x and y; True if they were distinct."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self.rank[rx] < self.rank[ry]:
+            rx, ry = ry, rx
+        self.parent[ry] = rx
+        if self.rank[rx] == self.rank[ry]:
+            self.rank[rx] += 1
+        self.n_components -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)

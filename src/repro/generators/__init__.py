@@ -1,0 +1,31 @@
+"""``repro.generators`` — synthetic datasets used for benchmarking.
+
+Module (4) of ParGeo: the point data generator.
+"""
+
+from .io import load_points, save_points
+from .scans import dragon, scan_surface, thai_statue
+from .synthetic import (
+    DATASET_KINDS,
+    dataset,
+    in_sphere,
+    on_cube,
+    on_sphere,
+    uniform,
+    visual_var,
+)
+
+__all__ = [
+    "DATASET_KINDS",
+    "dataset",
+    "dragon",
+    "in_sphere",
+    "load_points",
+    "save_points",
+    "on_cube",
+    "on_sphere",
+    "scan_surface",
+    "thai_statue",
+    "uniform",
+    "visual_var",
+]

@@ -1,0 +1,62 @@
+"""Point-set file I/O.
+
+Supports the two formats spatial tooling actually uses offline:
+
+* ``.npy`` — numpy binary (fast path),
+* ``.csv`` / ``.txt`` / ``.pbbs`` — whitespace- or comma-separated text
+  with an optional PBBS-style ``pbbs_sequencePoint{d}d`` header line
+  (ParGeo reads/writes the PBBS geometry format).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..core.points import PointSet, as_array
+
+__all__ = ["save_points", "load_points"]
+
+_PBBS_PREFIX = "pbbs_sequencePoint"
+
+
+def save_points(path: str | os.PathLike, points, fmt: str | None = None) -> None:
+    """Write a point set to ``path``; format inferred from the suffix.
+
+    ``fmt`` overrides: 'npy', 'csv', or 'pbbs'.
+    """
+    pts = as_array(points)
+    path = os.fspath(path)
+    if fmt is None:
+        ext = os.path.splitext(path)[1].lower().lstrip(".")
+        fmt = {"npy": "npy", "csv": "csv", "txt": "csv", "pbbs": "pbbs"}.get(ext)
+    if fmt == "npy":
+        np.save(path, pts)
+    elif fmt == "csv":
+        np.savetxt(path, pts, delimiter=",")
+    elif fmt == "pbbs":
+        with open(path, "w") as f:
+            f.write(f"{_PBBS_PREFIX}{pts.shape[1]}d\n")
+            np.savetxt(f, pts, delimiter=" ")
+    else:
+        raise ValueError(f"cannot infer format for {path!r}; pass fmt=")
+
+
+def load_points(path: str | os.PathLike) -> PointSet:
+    """Read a point set written by :func:`save_points` (or compatible)."""
+    path = os.fspath(path)
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".npy":
+        return PointSet(np.load(path))
+    with open(path) as f:
+        first = f.readline().strip()
+        if first.startswith(_PBBS_PREFIX):
+            data = np.loadtxt(f)
+        else:
+            f.seek(0)
+            delim = "," if ("," in first and ext in (".csv", ".txt", "")) else None
+            data = np.loadtxt(f, delimiter=delim)
+    if data.ndim == 1:
+        data = data[None, :]
+    return PointSet(data)

@@ -1,0 +1,151 @@
+"""Synthetic point-data generators from the paper's evaluation (§6).
+
+The paper names datasets ``{d}D-{Name}-{Size}``:
+
+* **Uniform (U)** — uniform in a hypercube of side sqrt(n).
+* **InSphere (IS)** — uniform inside a hypersphere.
+* **OnSphere (OS)** — uniform on a hypersphere surface with thickness
+  0.1 × diameter.
+* **OnCube (OC)** — uniform on a hypercube surface with thickness
+  0.1 × side length.
+* **VisualVar (V)** — clustered dataset with varying density, in the
+  style of Gan & Tao's SIGMOD'15 generator: random-walk cluster seeds
+  with noise, producing clusters of varying density.
+
+All generators take an explicit ``seed`` and are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import numpy as np
+
+from ..core.points import PointSet
+
+__all__ = [
+    "uniform",
+    "in_sphere",
+    "on_sphere",
+    "on_cube",
+    "visual_var",
+    "dataset",
+    "DATASET_KINDS",
+]
+
+
+def _side(n: int) -> float:
+    return math.sqrt(max(n, 1))
+
+
+def uniform(n: int, d: int, seed: int = 0) -> PointSet:
+    """Uniform in the hypercube [0, sqrt(n)]^d (paper's U)."""
+    rng = np.random.default_rng(seed)
+    return PointSet(rng.uniform(0.0, _side(n), size=(n, d)))
+
+
+def in_sphere(n: int, d: int, seed: int = 0) -> PointSet:
+    """Uniform in a hypersphere of radius sqrt(n)/2 (paper's IS)."""
+    rng = np.random.default_rng(seed)
+    radius = _side(n) / 2.0
+    # direction uniform on sphere, radius ~ U^(1/d) for volume uniformity
+    g = rng.standard_normal(size=(n, d))
+    g /= np.maximum(np.linalg.norm(g, axis=1, keepdims=True), 1e-300)
+    r = radius * rng.uniform(0.0, 1.0, size=(n, 1)) ** (1.0 / d)
+    return PointSet(g * r + radius)
+
+
+def on_sphere(n: int, d: int, seed: int = 0) -> PointSet:
+    """Uniform on a hypersphere surface with 0.1-diameter thickness (OS)."""
+    rng = np.random.default_rng(seed)
+    radius = _side(n) / 2.0
+    thickness = 0.1 * (2.0 * radius)
+    g = rng.standard_normal(size=(n, d))
+    g /= np.maximum(np.linalg.norm(g, axis=1, keepdims=True), 1e-300)
+    r = rng.uniform(radius - thickness / 2.0, radius + thickness / 2.0, size=(n, 1))
+    return PointSet(g * r + radius)
+
+
+def on_cube(n: int, d: int, seed: int = 0) -> PointSet:
+    """Uniform on a hypercube surface with 0.1-side thickness (OC)."""
+    rng = np.random.default_rng(seed)
+    side = _side(n)
+    thickness = 0.1 * side
+    pts = rng.uniform(0.0, side, size=(n, d))
+    # pick a face per point: a dimension and a side (low/high), then pull
+    # that coordinate into the surface shell
+    face_dim = rng.integers(0, d, size=n)
+    face_hi = rng.integers(0, 2, size=n).astype(bool)
+    depth = rng.uniform(0.0, thickness, size=n)
+    rows = np.arange(n)
+    pts[rows, face_dim] = np.where(face_hi, side - depth, depth)
+    return PointSet(pts)
+
+
+def visual_var(n: int, d: int, seed: int = 0, n_clusters: int = 10, noise: float = 0.05) -> PointSet:
+    """Clustered dataset of varying density (paper's VisualVar / V).
+
+    Cluster centers follow a random walk; each cluster's spread varies
+    by an order of magnitude, and ``noise`` fraction of the points are
+    uniform background noise — matching the visually-varying-density
+    character of the Gan–Tao generator the paper uses.
+    """
+    rng = np.random.default_rng(seed)
+    side = _side(n)
+    n_noise = int(n * noise)
+    n_clustered = n - n_noise
+
+    centers = np.empty((n_clusters, d))
+    centers[0] = rng.uniform(0.25 * side, 0.75 * side, size=d)
+    for i in range(1, n_clusters):
+        step = rng.standard_normal(d) * side * 0.15
+        centers[i] = np.clip(centers[i - 1] + step, 0.0, side)
+
+    sizes = rng.multinomial(n_clustered, np.full(n_clusters, 1.0 / n_clusters))
+    spreads = side * 0.01 * (10.0 ** rng.uniform(0.0, 1.0, size=n_clusters))
+    chunks = []
+    for c in range(n_clusters):
+        if sizes[c] == 0:
+            continue
+        chunks.append(centers[c] + rng.standard_normal((sizes[c], d)) * spreads[c])
+    if n_noise:
+        chunks.append(rng.uniform(0.0, side, size=(n_noise, d)))
+    pts = np.vstack(chunks) if chunks else np.empty((0, d))
+    rng.shuffle(pts, axis=0)
+    return PointSet(np.clip(pts, 0.0, side))
+
+
+DATASET_KINDS = {
+    "U": uniform,
+    "IS": in_sphere,
+    "OS": on_sphere,
+    "OC": on_cube,
+    "V": visual_var,
+}
+
+_NAME_RE = re.compile(r"^(\d+)D-([A-Za-z]+)-(\d+)([KkMm]?)$")
+
+
+def dataset(name: str, seed: int = 0) -> PointSet:
+    """Create a dataset from a paper-style name like ``'3D-U-10K'``.
+
+    Suffix K = thousand, M = million; no suffix = exact count.
+    """
+    m = _NAME_RE.match(name)
+    if not m:
+        raise ValueError(
+            f"bad dataset name {name!r}; expected e.g. '2D-U-10K' with "
+            f"kind in {sorted(DATASET_KINDS)}"
+        )
+    d = int(m.group(1))
+    kind = m.group(2).upper()
+    n = int(m.group(3))
+    suffix = m.group(4).upper()
+    if suffix == "K":
+        n *= 1_000
+    elif suffix == "M":
+        n *= 1_000_000
+    if kind not in DATASET_KINDS:
+        raise ValueError(f"unknown dataset kind {kind!r}")
+    return DATASET_KINDS[kind](n, d, seed=seed)

@@ -1,0 +1,23 @@
+"""``repro.graphs`` — spatial graph generators (ParGeo Module (3))."""
+
+from .generators import (
+    beta_skeleton,
+    delaunay_graph,
+    emst_graph,
+    gabriel_graph,
+    knn_graph,
+    relative_neighborhood_graph,
+    wspd_spanner,
+)
+from .graph import Graph
+
+__all__ = [
+    "Graph",
+    "beta_skeleton",
+    "delaunay_graph",
+    "emst_graph",
+    "gabriel_graph",
+    "knn_graph",
+    "relative_neighborhood_graph",
+    "wspd_spanner",
+]

@@ -1,0 +1,67 @@
+"""Lightweight weighted undirected graph used by the generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An edge-list graph over point ids, convertible to networkx/CSR."""
+
+    __slots__ = ("n", "edges", "weights")
+
+    def __init__(self, n: int, edges: np.ndarray, weights: np.ndarray | None = None):
+        self.n = n
+        e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        # canonicalize: undirected, u < v, deduplicated
+        e = np.sort(e, axis=1)
+        if weights is None:
+            e = np.unique(e, axis=0)
+            w = np.ones(len(e))
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            e, idx = np.unique(e, axis=0, return_index=True)
+            w = w[idx]
+        self.edges = e
+        self.weights = w
+
+    @property
+    def m(self) -> int:
+        return len(self.edges)
+
+    def degree(self) -> np.ndarray:
+        deg = np.zeros(self.n, dtype=np.int64)
+        np.add.at(deg, self.edges[:, 0], 1)
+        np.add.at(deg, self.edges[:, 1], 1)
+        return deg
+
+    def adjacency_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(indptr, indices, data) symmetric CSR adjacency."""
+        src = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+        dst = np.concatenate([self.edges[:, 1], self.edges[:, 0]])
+        w = np.concatenate([self.weights, self.weights])
+        order = np.argsort(src, kind="stable")
+        src, dst, w = src[order], dst[order], w[order]
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return indptr, dst, w
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_weighted_edges_from(
+            (int(u), int(v), float(w))
+            for (u, v), w in zip(self.edges, self.weights)
+        )
+        return g
+
+    def total_weight(self) -> float:
+        return float(self.weights.sum())
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m})"

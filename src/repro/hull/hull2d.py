@@ -1,0 +1,164 @@
+"""2D convex hull: sequential and parallel quickhull, divide-and-conquer.
+
+``quickhull2d_seq`` is the optimized sequential baseline (vectorized
+orientation filtering, recursion on the surviving candidates only).
+``quickhull2d_parallel`` is the PBBS-style recursive parallel quickhull
+the paper uses for R^2 (fork-join on the two subproblems, data-parallel
+filtering).  ``divide_conquer_2d`` implements the paper's §3 strategy:
+split into ``c * numProc`` equal subsets, sequential quickhull on each
+in parallel, then a final hull over the collected subproblem vertices.
+
+All functions return the hull as **indices into the input array, in
+counter-clockwise order** starting from the lexicographically smallest
+point.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.points import as_array
+from ..parlay.scheduler import get_scheduler
+from ..parlay.workdepth import charge
+
+__all__ = ["quickhull2d_seq", "quickhull2d_parallel", "divide_conquer_2d"]
+
+_PAR_CUTOFF = 4096
+
+
+def _cross_batch(pts: np.ndarray, a: np.ndarray, b: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Signed area of (a, b, pts[idx]) — positive = left of a->b."""
+    charge(max(len(idx), 1))
+    p = pts[idx]
+    return (b[0] - a[0]) * (p[:, 1] - a[1]) - (b[1] - a[1]) * (p[:, 0] - a[0])
+
+
+def _qh_rec(
+    pts: np.ndarray,
+    ia: int,
+    ib: int,
+    idx: np.ndarray,
+    out: list,
+    parallel: bool,
+) -> None:
+    """Hull points strictly left of a->b among ``idx``, appended between
+    a and b (a exclusive, b exclusive), in ccw order, into ``out``."""
+    if len(idx) == 0:
+        return
+    a, b = pts[ia], pts[ib]
+    cr = _cross_batch(pts, a, b, idx)
+    # furthest point from the line a-b (max cross = max distance)
+    fi = int(np.argmax(cr))
+    charge(max(len(idx), 1))
+    if cr[fi] <= 0:
+        return
+    ic = int(idx[fi])
+    c = pts[ic]
+    # candidates for (a, c): strictly left of a->c; similarly (c, b)
+    left_ac = idx[_cross_batch(pts, a, c, idx) > 0]
+    left_cb = idx[_cross_batch(pts, c, b, idx) > 0]
+
+    if parallel and len(idx) > _PAR_CUTOFF:
+        sched = get_scheduler()
+        out1: list = []
+        out2: list = []
+        sched.parallel_do(
+            [
+                lambda: _qh_rec(pts, ia, ic, left_ac, out1, parallel),
+                lambda: _qh_rec(pts, ic, ib, left_cb, out2, parallel),
+            ]
+        )
+        out.extend(out1)
+        out.append(ic)
+        out.extend(out2)
+    else:
+        _qh_rec(pts, ia, ic, left_ac, out, parallel)
+        out.append(ic)
+        _qh_rec(pts, ic, ib, left_cb, out, parallel)
+
+
+def _quickhull2d(points, parallel: bool) -> np.ndarray:
+    pts = as_array(points)
+    if pts.shape[1] != 2:
+        raise ValueError("quickhull2d requires 2-dimensional points")
+    n = len(pts)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+
+    # extreme points by lexicographic order (breaks ties deterministically)
+    charge(n, math.log2(max(n, 2)))
+    lex = np.lexsort((pts[:, 1], pts[:, 0]))
+    il, ir = int(lex[0]), int(lex[-1])
+    if il == ir or np.all(pts[il] == pts[ir]):
+        return np.array([il], dtype=np.int64)
+
+    idx = np.arange(n, dtype=np.int64)
+    a, b = pts[il], pts[ir]
+    cr = _cross_batch(pts, a, b, idx)
+    upper = idx[cr > 0]
+    lower = idx[cr < 0]
+
+    out_up: list = []
+    out_lo: list = []
+    if parallel and n > _PAR_CUTOFF:
+        get_scheduler().parallel_do(
+            [
+                lambda: _qh_rec(pts, il, ir, upper, out_up, True),
+                lambda: _qh_rec(pts, ir, il, lower, out_lo, True),
+            ]
+        )
+    else:
+        _qh_rec(pts, il, ir, upper, out_up, parallel)
+        _qh_rec(pts, ir, il, lower, out_lo, parallel)
+    # _qh_rec(a, b, ...) emits the chain of points left of a->b in a->b
+    # order; out_up runs il->ir above the line, out_lo runs ir->il below.
+    # CCW traversal = il, lower chain left-to-right, ir, upper chain
+    # right-to-left.
+    hull = [il] + out_lo[::-1] + [ir] + out_up[::-1]
+    return np.array(hull, dtype=np.int64)
+
+
+def quickhull2d_seq(points) -> np.ndarray:
+    """Optimized sequential quickhull (the CGAL/Qhull-role baseline)."""
+    return _quickhull2d(points, parallel=False)
+
+
+def quickhull2d_parallel(points) -> np.ndarray:
+    """PBBS-style recursive parallel quickhull for R^2."""
+    return _quickhull2d(points, parallel=True)
+
+
+def divide_conquer_2d(points, c: int = 2, nblocks: int | None = None) -> np.ndarray:
+    """Divide-and-conquer hull (paper §3): ``c * numProc`` blocks, each
+    solved sequentially in parallel; final hull over collected vertices.
+
+    ``numProc`` defaults to the simulated target machine (36h cores) so
+    the block decomposition matches the paper's; execution interleaves
+    the blocks on however many real workers exist.
+    """
+    from ..bench.harness import PAPER_CORES
+
+    pts = as_array(points)
+    n = len(pts)
+    sched = get_scheduler()
+    if nblocks is None:
+        nblocks = c * max(sched.workers, int(PAPER_CORES))
+    nblocks = max(1, min(nblocks, n // 32 or 1))
+    if nblocks <= 1 or n < 2 * _PAR_CUTOFF:
+        return quickhull2d_parallel(pts)
+
+    bounds = [(n * b // nblocks, n * (b + 1) // nblocks) for b in range(nblocks)]
+
+    def solve_block(b: int):
+        lo, hi = bounds[b]
+        sub = quickhull2d_seq(pts[lo:hi])
+        return sub + lo
+
+    subs = sched.parallel_do([(lambda b=b: solve_block(b)) for b in range(nblocks)])
+    cand = np.concatenate(subs)
+    final_local = quickhull2d_parallel(pts[cand])
+    return cand[final_local]

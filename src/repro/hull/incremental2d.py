@@ -1,0 +1,336 @@
+"""Reservation-based parallel incremental convex hull in R^2 (paper §3).
+
+The hull is a circular doubly-linked list of directed edges (the
+"facets" of R^2).  Each candidate point stores a reference to one
+visible edge; each edge stores the set of candidate points assigned to
+it (the conflict list) and a cached furthest point.  Every round:
+
+1. select a batch Q of visible points — a prefix of the random
+   permutation (**randomized incremental** mode) or the per-facet
+   furthest points (**quickhull** mode);
+2. each q finds its full visible chain by walking left/right from its
+   stored edge (the paper's "local BFS");
+3. q reserves its visible edges *plus the two horizon-neighbor edges*
+   with a priority write (see DESIGN.md §4 — reserving the horizon
+   neighbors serializes points whose structural updates would touch a
+   common edge, which the visible-only reservation does not);
+4. points holding all their reservations win and splice the hull:
+   delete the chain, insert edges (u, q), (q, w), and redistribute the
+   chain's conflict points onto the two new edges (points visible to
+   neither are inside the new hull — Barber et al.'s partitioning
+   lemma — and are discarded);
+5. pack: drop processed and no-longer-visible points.
+
+``HullStats`` records the Figure 12 instrumentation (points and facets
+touched, reservation success counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.points import as_array
+from ..parlay.priority_write import NO_RESERVATION
+from ..parlay.random import random_permutation
+from ..parlay.scheduler import get_scheduler
+from ..parlay.workdepth import charge
+
+__all__ = ["randinc_hull2d", "reservation_quickhull2d", "HullStats"]
+
+
+@dataclass
+class HullStats:
+    """Instrumentation counters (paper Figure 12 / Appendix B)."""
+
+    rounds: int = 0
+    points_touched: int = 0
+    facets_touched: int = 0
+    reservations_attempted: int = 0
+    reservations_succeeded: int = 0
+    facets_created: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _EdgeHull2D:
+    """Mutable 2D hull: edge pool + conflict lists."""
+
+    def __init__(self, pts: np.ndarray):
+        self.pts = pts
+        self.eu: list[int] = []
+        self.ev: list[int] = []
+        self.enext: list[int] = []
+        self.eprev: list[int] = []
+        self.alive: list[bool] = []
+        self.epts: list[np.ndarray] = []  # conflict point ids per edge
+        self.far: list[tuple[float, int]] = []  # cached (dist, pid)
+        self.reservation: list[int] = []
+        self.facet_of = np.full(len(pts), -1, dtype=np.int64)
+        self.stats = HullStats()
+
+    # -- edge pool ---------------------------------------------------------
+    def new_edge(self, u: int, v: int) -> int:
+        eid = len(self.eu)
+        self.eu.append(u)
+        self.ev.append(v)
+        self.enext.append(-1)
+        self.eprev.append(-1)
+        self.alive.append(True)
+        self.epts.append(np.empty(0, dtype=np.int64))
+        self.far.append((0.0, -1))
+        self.reservation.append(NO_RESERVATION)
+        self.stats.facets_created += 1
+        return eid
+
+    def vis_dist(self, eid: int, cand: np.ndarray) -> np.ndarray:
+        """Visibility distance of candidates from edge ``eid``.
+
+        The hull is ccw, so a point is outside (sees the edge) iff it is
+        strictly *right* of the directed edge; we return the negated
+        cross product, positive iff visible, and proportional to the
+        distance from the edge's line.
+        """
+        charge(max(len(cand), 1))
+        a = self.pts[self.eu[eid]]
+        b = self.pts[self.ev[eid]]
+        p = self.pts[cand]
+        return (b[1] - a[1]) * (p[:, 0] - a[0]) - (b[0] - a[0]) * (p[:, 1] - a[1])
+
+    def visible_one(self, eid: int, pid: int) -> bool:
+        a = self.pts[self.eu[eid]]
+        b = self.pts[self.ev[eid]]
+        p = self.pts[pid]
+        charge(1, 1)
+        return (b[1] - a[1]) * (p[0] - a[0]) - (b[0] - a[0]) * (p[1] - a[1]) > 0
+
+    def assign_points(self, eids: list[int], cand: np.ndarray) -> None:
+        """Distribute candidate points to their first visible edge."""
+        if len(cand) == 0:
+            for e in eids:
+                self.epts[e] = np.empty(0, dtype=np.int64)
+            return
+        remaining = cand
+        for e in eids:
+            if len(remaining) == 0:
+                self.epts[e] = np.empty(0, dtype=np.int64)
+                self.far[e] = (0.0, -1)
+                continue
+            dv = self.vis_dist(e, remaining)
+            vis = dv > 0
+            mine = remaining[vis]
+            self.epts[e] = mine
+            if len(mine):
+                j = int(np.argmax(dv[vis]))
+                self.far[e] = (float(dv[vis][j]), int(mine[j]))
+                self.facet_of[mine] = e
+            else:
+                self.far[e] = (0.0, -1)
+            remaining = remaining[~vis]
+        # whatever is left is inside the hull w.r.t. these edges
+        if len(remaining):
+            self.facet_of[remaining] = -1
+
+    # -- visible chain ---------------------------------------------------------
+    def visible_chain(self, pid: int) -> list[int]:
+        """All edges visible from pid, walking from its stored edge."""
+        e0 = int(self.facet_of[pid])
+        chain = [e0]
+        # walk backward
+        e = self.eprev[e0]
+        while e != e0 and self.visible_one(e, pid):
+            chain.append(e)
+            e = self.eprev[e]
+        chain.reverse()
+        # walk forward
+        e = self.enext[e0]
+        while e != chain[0] and self.visible_one(e, pid):
+            chain.append(e)
+            e = self.enext[e]
+        self.stats.facets_touched += len(chain)
+        return chain
+
+    # -- structural update ---------------------------------------------------------
+    def insert_point(self, pid: int, chain: list[int]) -> None:
+        """Splice pid into the hull, replacing its visible chain."""
+        left = self.eprev[chain[0]]
+        right = self.enext[chain[-1]]
+        u = self.eu[chain[0]]
+        w = self.ev[chain[-1]]
+        ea = self.new_edge(u, pid)
+        eb = self.new_edge(pid, w)
+        self.enext[left] = ea
+        self.eprev[ea] = left
+        self.enext[ea] = eb
+        self.eprev[eb] = ea
+        self.enext[eb] = right
+        self.eprev[right] = eb
+
+        cand_parts = []
+        for e in chain:
+            self.alive[e] = False
+            if len(self.epts[e]):
+                cand_parts.append(self.epts[e])
+            self.epts[e] = np.empty(0, dtype=np.int64)
+        if cand_parts:
+            cand = np.concatenate(cand_parts)
+            cand = cand[cand != pid]
+        else:
+            cand = np.empty(0, dtype=np.int64)
+        self.stats.points_touched += len(cand) + 1
+        self.assign_points([ea, eb], cand)
+        self.facet_of[pid] = -1
+
+    def hull_indices(self) -> np.ndarray:
+        """Hull vertex ids in ccw order."""
+        start = next(e for e in range(len(self.eu)) if self.alive[e])
+        out = [self.eu[start]]
+        e = self.enext[start]
+        while e != start:
+            out.append(self.eu[e])
+            e = self.enext[e]
+        return np.array(out, dtype=np.int64)
+
+
+def _init_hull(pts: np.ndarray) -> tuple[_EdgeHull2D, np.ndarray]:
+    """Build the initial triangle and assign conflict points."""
+    n = len(pts)
+    lex = np.lexsort((pts[:, 1], pts[:, 0]))
+    ia, ib = int(lex[0]), int(lex[-1])
+    a, b = pts[ia], pts[ib]
+    cr = (b[0] - a[0]) * (pts[:, 1] - a[1]) - (b[1] - a[1]) * (pts[:, 0] - a[0])
+    ic = int(np.argmax(np.abs(cr)))
+    if cr[ic] == 0:
+        raise ValueError("all points are collinear; 2d hull is degenerate")
+    if cr[ic] < 0:
+        ia, ib = ib, ia  # make (ia, ib, ic) ccw
+    h = _EdgeHull2D(pts)
+    e0 = h.new_edge(ia, ib)
+    e1 = h.new_edge(ib, ic)
+    e2 = h.new_edge(ic, ia)
+    for x, y in ((e0, e1), (e1, e2), (e2, e0)):
+        h.enext[x] = y
+        h.eprev[y] = x
+    cand = np.setdiff1d(np.arange(n, dtype=np.int64), np.array([ia, ib, ic]))
+    h.assign_points([e0, e1, e2], cand)
+    live = cand[h.facet_of[cand] >= 0]
+    return h, live
+
+
+def _run_rounds(
+    h: _EdgeHull2D,
+    select: "callable",
+    batch: int,
+) -> None:
+    """Shared round loop: select, reserve, check, process, pack."""
+    sched = get_scheduler()
+    while True:
+        q_ids, prios = select(batch)
+        if len(q_ids) == 0:
+            break
+        h.stats.rounds += 1
+        # 1. gather visible chains (parallel read-only phase)
+        chains = sched.map_tasks(lambda q: h.visible_chain(int(q)), q_ids)
+
+        # 2. reservation: write_min priority into visible + horizon edges
+        reserve_sets = []
+        touched: list[int] = []
+        for chain in chains:
+            rs = [h.eprev[chain[0]], *chain, h.enext[chain[-1]]]
+            reserve_sets.append(rs)
+            touched.extend(rs)
+        for rs, prio in zip(reserve_sets, prios):
+            h.stats.reservations_attempted += 1
+            charge(len(rs), 1)
+            for e in rs:
+                if prio < h.reservation[e]:
+                    h.reservation[e] = int(prio)
+
+        # 3. check reservations
+        winners = []
+        for qi, (rs, prio) in enumerate(zip(reserve_sets, prios)):
+            charge(len(rs), 1)
+            if all(h.reservation[e] == prio for e in rs):
+                winners.append(qi)
+                h.stats.reservations_succeeded += 1
+
+        # 4. process winners (disjoint chains -> safe in parallel)
+        for qi in winners:
+            h.insert_point(int(q_ids[qi]), chains[qi])
+
+        # 5. clear reservations on touched edges
+        for e in touched:
+            h.reservation[e] = NO_RESERVATION
+
+
+def randinc_hull2d(points, batch: int | None = None, seed: int = 0):
+    """Parallel randomized incremental 2D hull (reservation-based).
+
+    Returns (hull_indices_ccw, HullStats).
+    """
+    pts = as_array(points)
+    if pts.shape[1] != 2:
+        raise ValueError("requires 2-dimensional points")
+    sched = get_scheduler()
+    if batch is None:
+        batch = max(4, 4 * sched.workers)
+
+    perm = random_permutation(len(pts), seed=seed)
+    rank = np.empty(len(pts), dtype=np.int64)
+    rank[perm] = np.arange(len(pts))
+
+    h, live = _init_hull(pts)
+    # pending points ordered by permutation rank
+    pending = live[np.argsort(rank[live], kind="stable")]
+    state = {"pending": pending}
+
+    def select(r: int):
+        # pack: drop points no longer visible
+        p = state["pending"]
+        p = p[h.facet_of[p] >= 0]
+        charge(max(len(p), 1))
+        state["pending"] = p  # losers stay pending; winners drop via facet_of
+        q = p[:r]
+        return q, rank[q]
+
+    _run_rounds(h, select, batch)
+    return h.hull_indices(), h.stats
+
+
+def reservation_quickhull2d(points, batch: int | None = None):
+    """Parallel quickhull via reservations: each round processes the
+    points furthest from their facets (paper §3 / Appendix A).
+
+    Returns (hull_indices_ccw, HullStats).
+    """
+    pts = as_array(points)
+    if pts.shape[1] != 2:
+        raise ValueError("requires 2-dimensional points")
+    sched = get_scheduler()
+    if batch is None:
+        batch = max(4, 4 * sched.workers)
+
+    h, _live = _init_hull(pts)
+
+    def select(r: int):
+        # furthest point of each live facet with conflicts, best-first
+        cands: dict[int, float] = {}
+        charge(max(len(h.eu), 1))
+        for e in range(len(h.eu)):
+            if h.alive[e] and h.far[e][1] >= 0:
+                d, pid = h.far[e]
+                if pid not in cands or d > cands[pid]:
+                    cands[pid] = d
+        if not cands:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        items = sorted(cands.items(), key=lambda kv: (-kv[1], kv[0]))[:r]
+        q = np.array([pid for pid, _ in items], dtype=np.int64)
+        # priority = round-local rank (furthest first), globally unique
+        # via the point id tiebreak baked into the ordering
+        prios = np.arange(len(q), dtype=np.int64)
+        return q, prios
+
+    _run_rounds(h, select, batch)
+    return h.hull_indices(), h.stats

@@ -1,0 +1,89 @@
+"""Hull post-processing utilities: measures and membership tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.points import as_array
+from ..core.predicates import orient2d_batch
+from .hull2d import quickhull2d_seq
+from .hull3d import hull3d_facets
+
+__all__ = [
+    "polygon_area",
+    "hull_area_2d",
+    "hull_volume_3d",
+    "hull_surface_area_3d",
+    "points_in_hull_2d",
+    "points_in_hull_3d",
+]
+
+
+def polygon_area(poly: np.ndarray) -> float:
+    """Signed area of a polygon given as ordered (m, 2) vertices
+    (positive for counter-clockwise orientation)."""
+    poly = as_array(poly)
+    x, y = poly[:, 0], poly[:, 1]
+    return 0.5 * float(np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y))
+
+
+def hull_area_2d(points) -> float:
+    """Area of the convex hull of 2D points."""
+    pts = as_array(points)
+    h = quickhull2d_seq(pts)
+    if len(h) < 3:
+        return 0.0
+    return polygon_area(pts[h])
+
+
+def hull_volume_3d(points) -> float:
+    """Volume of the convex hull of 3D points (signed tetrahedra sum)."""
+    pts = as_array(points)
+    tris = hull3d_facets(pts)
+    if len(tris) == 0:
+        return 0.0
+    ref = pts[tris[0][0]]
+    a = pts[tris[:, 0]] - ref
+    b = pts[tris[:, 1]] - ref
+    c = pts[tris[:, 2]] - ref
+    vols = np.einsum("ij,ij->i", a, np.cross(b, c)) / 6.0
+    return float(abs(vols.sum()))
+
+
+def hull_surface_area_3d(points) -> float:
+    """Surface area of the convex hull of 3D points."""
+    pts = as_array(points)
+    tris = hull3d_facets(pts)
+    if len(tris) == 0:
+        return 0.0
+    a = pts[tris[:, 1]] - pts[tris[:, 0]]
+    b = pts[tris[:, 2]] - pts[tris[:, 0]]
+    return float(0.5 * np.linalg.norm(np.cross(a, b), axis=1).sum())
+
+
+def points_in_hull_2d(hull_poly: np.ndarray, queries) -> np.ndarray:
+    """Mask of query points inside (or on) a convex ccw polygon."""
+    poly = as_array(hull_poly)
+    qs = as_array(queries)
+    inside = np.ones(len(qs), dtype=bool)
+    for i in range(len(poly)):
+        a, b = poly[i], poly[(i + 1) % len(poly)]
+        inside &= orient2d_batch(a, b, qs) >= 0
+    return inside
+
+
+def points_in_hull_3d(points, queries, tol: float = 1e-9) -> np.ndarray:
+    """Mask of query points inside (or on) the hull of ``points``."""
+    pts = as_array(points)
+    qs = as_array(queries)
+    tris = hull3d_facets(pts)
+    centroid = pts.mean(axis=0)
+    inside = np.ones(len(qs), dtype=bool)
+    scale = float(np.max(pts.max(axis=0) - pts.min(axis=0))) or 1.0
+    for (a, b, c) in tris:
+        n = np.cross(pts[b] - pts[a], pts[c] - pts[a])
+        off = float(n @ pts[a])
+        if n @ centroid > off:  # orient outward
+            n, off = -n, -off
+        inside &= (qs @ n - off) <= tol * scale * np.linalg.norm(n)
+    return inside

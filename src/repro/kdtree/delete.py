@@ -1,0 +1,130 @@
+"""Parallel batch deletion from a static kd-tree (paper Algorithm 2).
+
+The batch of points to erase is partitioned around each node's splitting
+hyperplane and pushed to both relevant subtrees in parallel; leaves mark
+matching points as deleted.  On the way back up, nodes whose subtrees
+emptied are removed, and internal nodes left with a single child are
+contracted (the child replaces the node), flattening unnecessary
+traversal — exactly the structure-maintenance rule in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.points import as_array
+from ..parlay.scheduler import get_scheduler
+from ..parlay.workdepth import charge, fork_costs
+from .tree import KDTree
+
+__all__ = ["erase"]
+
+_SEQ_CUTOFF = 2048
+
+
+def erase(tree: KDTree, point_coords) -> int:
+    """Delete points (by coordinates) from the tree; returns #deleted.
+
+    Points not present are ignored.  Duplicates in the tree matching a
+    single query row are all deleted (coordinate equality is exact).
+    """
+    q = as_array(point_coords)
+    if q.shape[1] != tree.dim:
+        raise ValueError("dimension mismatch")
+    if tree.root < 0 or len(q) == 0:
+        return 0
+    deleted = _CountBox()
+    new_root = _erase_rec(tree, tree.root, q, deleted, get_scheduler())
+    tree.root = new_root if new_root is not None else -1
+    tree.n_alive -= deleted.count
+    return deleted.count
+
+
+class _CountBox:
+    """Deletion counter, lock-protected for the threads backend."""
+
+    __slots__ = ("count", "_lock")
+
+    def __init__(self):
+        import threading
+
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def add(self, k: int) -> None:
+        with self._lock:
+            self.count += k
+
+
+def _erase_rec(tree: KDTree, idx: int, q: np.ndarray, deleted: _CountBox, sched) -> int | None:
+    """Returns the node that should replace ``idx`` (None = removed)."""
+    m = len(q)
+    charge(max(m, 1), math.log2(m) if m > 1 else 1.0)
+    if tree.is_leaf[idx]:
+        ids = tree.node_points(idx)
+        if len(ids) == 0:
+            return None if tree.live[idx] == 0 else idx
+        pts = tree.points[ids]
+        # exact coordinate match against the batch
+        charge(len(ids) * max(m, 1))
+        # compare via sorted structured view for efficiency
+        hit = _match_rows(pts, q)
+        if np.any(hit):
+            k = int(np.count_nonzero(hit))
+            tree.alive[ids[hit]] = False
+            tree.live[idx] -= k
+            deleted.add(k)
+        return None if tree.live[idx] == 0 else idx
+
+    d = int(tree.split_dim[idx])
+    sv = float(tree.split_val[idx])
+    mask_l = q[:, d] <= sv
+    mask_r = q[:, d] >= sv
+    ql = q[mask_l]
+    qr = q[mask_r]
+    li, ri = int(tree.left[idx]), int(tree.right[idx])
+
+    results: list[int | None] = [None, None]
+
+    def do_left():
+        results[0] = _erase_rec(tree, li, ql, deleted, sched) if (li >= 0 and len(ql)) else (li if li >= 0 else None)
+
+    def do_right():
+        results[1] = _erase_rec(tree, ri, qr, deleted, sched) if (ri >= 0 and len(qr)) else (ri if ri >= 0 else None)
+
+    if m > _SEQ_CUTOFF and len(ql) and len(qr):
+        sched.parallel_do([do_left, do_right])
+    else:
+        fork_costs([do_left, do_right])
+
+    new_l, new_r = results
+    # a child that wasn't visited but is empty should also disappear
+    if new_l is not None and tree.live[new_l] == 0:
+        new_l = None
+    if new_r is not None and tree.live[new_r] == 0:
+        new_r = None
+
+    tree.left[idx] = new_l if new_l is not None else -1
+    tree.right[idx] = new_r if new_r is not None else -1
+    tree.live[idx] = (tree.live[new_l] if new_l is not None else 0) + (
+        tree.live[new_r] if new_r is not None else 0
+    )
+    if new_l is None and new_r is None:
+        return None
+    if new_l is None:
+        return new_r
+    if new_r is None:
+        return new_l
+    return idx
+
+
+def _match_rows(pts: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``pts`` rows that exactly equal some row of q."""
+    if len(q) * len(pts) <= 4096:
+        return (pts[:, None, :] == q[None, :, :]).all(axis=2).any(axis=1)
+    # large batches: hash rows through a void view + sorted membership
+    pv = np.ascontiguousarray(pts).view([("", pts.dtype)] * pts.shape[1]).ravel()
+    qv = np.ascontiguousarray(q).view([("", q.dtype)] * q.shape[1]).ravel()
+    return np.isin(pv, qv)

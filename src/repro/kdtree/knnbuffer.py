@@ -1,0 +1,101 @@
+"""The k-NN buffer of ParGeo Appendix C.1.3.
+
+A buffer of capacity 2k holding candidate neighbors.  Inserting appends;
+when the buffer fills, a selection partition keeps the k nearest and
+discards the rest — amortized O(1) per insert.  ``bound`` is the current
+k-th nearest distance (infinity until k candidates have been seen),
+used by the kd-tree search to prune subtrees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parlay.workdepth import charge
+
+__all__ = ["KNNBuffer"]
+
+
+class KNNBuffer:
+    """Buffer of the current k nearest neighbors of one query point."""
+
+    __slots__ = ("k", "dists", "ids", "count", "bound")
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.dists = np.empty(2 * k, dtype=np.float64)
+        self.ids = np.empty(2 * k, dtype=np.int64)
+        self.count = 0
+        self.bound = np.inf
+
+    def _compact(self) -> None:
+        """Selection-partition down to the k nearest candidates."""
+        charge(self.count, 1)
+        k = self.k
+        if self.count <= k:
+            if self.count == k:
+                self.bound = float(np.max(self.dists[: self.count]))
+            return
+        sel = np.argpartition(self.dists[: self.count], k - 1)[:k]
+        self.dists[:k] = self.dists[sel]
+        self.ids[:k] = self.ids[sel]
+        self.count = k
+        self.bound = float(np.max(self.dists[:k]))
+
+    def insert(self, dist: float, pid: int) -> None:
+        """Add one candidate (squared distance, point id)."""
+        if dist >= self.bound:
+            return
+        charge(1, 1)
+        self.dists[self.count] = dist
+        self.ids[self.count] = pid
+        self.count += 1
+        if self.count == 2 * self.k:
+            self._compact()
+        elif self.count == self.k and np.isinf(self.bound):
+            # bound becomes finite once k candidates exist
+            self.bound = float(np.max(self.dists[: self.count]))
+
+    def insert_batch(self, dists: np.ndarray, pids: np.ndarray) -> None:
+        """Add many candidates at once (vectorized leaf processing)."""
+        m = len(dists)
+        if m == 0:
+            return
+        charge(m, 1)
+        keep = dists < self.bound
+        dists = dists[keep]
+        pids = pids[keep]
+        m = len(dists)
+        i = 0
+        while i < m:
+            space = 2 * self.k - self.count
+            take = min(space, m - i)
+            self.dists[self.count : self.count + take] = dists[i : i + take]
+            self.ids[self.count : self.count + take] = pids[i : i + take]
+            self.count += take
+            i += take
+            if self.count >= 2 * self.k or (self.count >= self.k and np.isinf(self.bound)):
+                self._compact()
+        if self.count >= self.k:
+            self._compact()
+
+    def result(self, sort: bool = True) -> tuple[np.ndarray, np.ndarray]:
+        """Return (distances, ids) of the k nearest seen so far.
+
+        Distances are *squared* Euclidean.  If fewer than k candidates
+        were inserted, returns what exists.
+        """
+        self._compact()
+        m = min(self.count, self.k)
+        d = self.dists[:m].copy()
+        i = self.ids[:m].copy()
+        if sort:
+            order = np.argsort(d, kind="stable")
+            d, i = d[order], i[order]
+        return d, i
+
+    def full(self) -> bool:
+        """True once k candidates have been collected."""
+        return self.count >= self.k

@@ -1,0 +1,133 @@
+"""Orthogonal (box) and spherical range search over the kd-tree.
+
+The traversal takes whole subtrees whose bounding box is contained in
+the query region, skips disjoint subtrees, and recurses on the rest —
+the standard data-parallel range search ParGeo performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parlay.workdepth import charge
+from .tree import KDTree
+
+__all__ = ["range_query_box", "range_query_ball", "range_count_box"]
+
+
+def _collect_box(tree: KDTree, idx: int, lo: np.ndarray, hi: np.ndarray, out: list) -> None:
+    if idx < 0 or tree.live[idx] == 0:
+        return
+    charge(2 * tree.dim + 4, 1)  # per-node box arithmetic
+    nlo, nhi = tree.box_lo[idx], tree.box_hi[idx]
+    if np.any(nlo > hi) or np.any(nhi < lo):
+        return  # disjoint
+    if np.all(nlo >= lo) and np.all(nhi <= hi):
+        out.append(tree.node_points(idx))  # contained: take all
+        return
+    if tree.is_leaf[idx]:
+        ids = tree.node_points(idx)
+        if len(ids):
+            pts = tree.points[ids]
+            charge(len(ids) * tree.dim)
+            mask = np.all((pts >= lo) & (pts <= hi), axis=1)
+            out.append(ids[mask])
+        return
+    _collect_box(tree, int(tree.left[idx]), lo, hi, out)
+    _collect_box(tree, int(tree.right[idx]), lo, hi, out)
+
+
+def range_query_box(tree: KDTree, lo, hi) -> np.ndarray:
+    """Ids of live points inside the closed box [lo, hi]."""
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    out: list = []
+    _collect_box(tree, tree.root, lo, hi, out)
+    if not out:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(out)
+
+
+def range_count_box(tree: KDTree, lo, hi) -> int:
+    """Number of live points inside the closed box [lo, hi]."""
+    return len(range_query_box(tree, lo, hi))
+
+
+def _collect_ball(tree: KDTree, idx: int, c: np.ndarray, r2: float, out: list) -> None:
+    if idx < 0 or tree.live[idx] == 0:
+        return
+    charge(2 * tree.dim + 4, 1)  # per-node box arithmetic
+    nlo, nhi = tree.box_lo[idx], tree.box_hi[idx]
+    gap = np.maximum(nlo - c, 0.0) + np.maximum(c - nhi, 0.0)
+    if float(gap @ gap) > r2:
+        return  # disjoint
+    far = np.maximum(np.abs(c - nlo), np.abs(c - nhi))
+    if float(far @ far) <= r2:
+        out.append(tree.node_points(idx))  # contained
+        return
+    if tree.is_leaf[idx]:
+        ids = tree.node_points(idx)
+        if len(ids):
+            pts = tree.points[ids]
+            charge(len(ids) * tree.dim)
+            diff = pts - c
+            d2 = np.einsum("ij,ij->i", diff, diff)
+            out.append(ids[d2 <= r2])
+        return
+    _collect_ball(tree, int(tree.left[idx]), c, r2, out)
+    _collect_ball(tree, int(tree.right[idx]), c, r2, out)
+
+
+def range_query_ball(tree: KDTree, center, radius: float) -> np.ndarray:
+    """Ids of live points within Euclidean distance ``radius`` of center."""
+    c = np.asarray(center, dtype=np.float64)
+    out: list = []
+    _collect_ball(tree, tree.root, c, float(radius) ** 2, out)
+    if not out:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(out)
+
+
+def range_query_batch(tree: KDTree, los, his) -> list[np.ndarray]:
+    """Data-parallel batch of box queries (one result list per box).
+
+    Queries run in blocks across the scheduler — the paper's range
+    search benchmark shape (parallel across queries).
+    """
+    from ..parlay.scheduler import get_scheduler
+    from ..parlay.primitives import query_blocks
+
+    los = np.asarray(los, dtype=np.float64)
+    his = np.asarray(his, dtype=np.float64)
+    m = len(los)
+    results: list = [None] * m
+    sched = get_scheduler()
+    blocks = query_blocks(m, grain=16)
+
+    def run_block(b: int) -> None:
+        lo_i, hi_i = blocks[b]
+        for i in range(lo_i, hi_i):
+            results[i] = range_query_box(tree, los[i], his[i])
+
+    sched.parallel_for(len(blocks), run_block)
+    return results
+
+
+def range_query_ball_batch(tree: KDTree, centers, radii) -> list[np.ndarray]:
+    """Data-parallel batch of ball queries."""
+    from ..parlay.scheduler import get_scheduler
+    from ..parlay.primitives import query_blocks
+
+    centers = np.asarray(centers, dtype=np.float64)
+    radii = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(centers),))
+    results: list = [None] * len(centers)
+    sched = get_scheduler()
+    blocks = query_blocks(len(centers), grain=16)
+
+    def run_block(b: int) -> None:
+        lo_i, hi_i = blocks[b]
+        for i in range(lo_i, hi_i):
+            results[i] = range_query_ball(tree, centers[i], float(radii[i]))
+
+    sched.parallel_for(len(blocks), run_block)
+    return results

@@ -1,0 +1,99 @@
+"""``repro.parlay`` — the ParlayLib-equivalent parallel substrate.
+
+Provides the fork-join scheduler, data-parallel sequence primitives,
+parallel sorting, random permutation, priority writes, and the
+work-depth cost model that simulates multicore speedups (see DESIGN.md
+§1 for the substitution rationale).
+"""
+
+from .histogram import count_sort_by_bucket, histogram
+from .primitives import (
+    pack,
+    pack_index,
+    pcount,
+    pfilter,
+    pflatten,
+    pmap,
+    pmax_index,
+    pmin_index,
+    preduce,
+    pscan,
+    pscan_inclusive,
+    split_blocks,
+)
+from .priority_write import (
+    NO_RESERVATION,
+    ReservationArray,
+    write_max_batch,
+    write_min_batch,
+)
+from .radix import radix_argsort, radix_sort
+from .random import random_permutation, random_sample_indices
+from .semisort import group_by, reduce_by_key, semisort_indices
+from .scheduler import (
+    Scheduler,
+    get_scheduler,
+    num_workers,
+    parallel_do,
+    parallel_for,
+    parallel_map_tasks,
+    set_backend,
+    use_backend,
+)
+from .sort import argsort_parallel, is_sorted, merge_sorted, sample_sort
+from .workdepth import (
+    Cost,
+    CostTracker,
+    charge,
+    frame,
+    simulated_speedup,
+    simulated_time,
+    tracker,
+)
+
+__all__ = [
+    "Cost",
+    "CostTracker",
+    "NO_RESERVATION",
+    "ReservationArray",
+    "Scheduler",
+    "argsort_parallel",
+    "charge",
+    "count_sort_by_bucket",
+    "frame",
+    "get_scheduler",
+    "group_by",
+    "histogram",
+    "is_sorted",
+    "merge_sorted",
+    "num_workers",
+    "pack",
+    "pack_index",
+    "parallel_do",
+    "parallel_for",
+    "parallel_map_tasks",
+    "pcount",
+    "pfilter",
+    "pflatten",
+    "pmap",
+    "pmax_index",
+    "pmin_index",
+    "preduce",
+    "pscan",
+    "pscan_inclusive",
+    "radix_argsort",
+    "radix_sort",
+    "random_permutation",
+    "random_sample_indices",
+    "reduce_by_key",
+    "sample_sort",
+    "semisort_indices",
+    "set_backend",
+    "simulated_speedup",
+    "simulated_time",
+    "split_blocks",
+    "tracker",
+    "use_backend",
+    "write_max_batch",
+    "write_min_batch",
+]

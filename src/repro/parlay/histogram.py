@@ -1,0 +1,37 @@
+"""Parallel histogram / counting (ParlayLib `histogram` equivalent)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .workdepth import charge
+
+__all__ = ["histogram", "count_sort_by_bucket"]
+
+
+def histogram(keys: np.ndarray, nbuckets: int) -> np.ndarray:
+    """Counts per bucket for integer keys in [0, nbuckets).
+
+    W=n, D=log n (parallel blocked counting + tree merge).
+    """
+    n = len(keys)
+    charge(max(n, 1) + nbuckets, math.log2(max(n, 2)))
+    return np.bincount(keys, minlength=nbuckets).astype(np.int64)
+
+
+def count_sort_by_bucket(keys: np.ndarray, nbuckets: int) -> tuple[np.ndarray, np.ndarray]:
+    """Stable counting sort; returns (order, bucket_offsets).
+
+    ``order`` is a permutation grouping elements by bucket;
+    ``bucket_offsets`` has length nbuckets+1 delimiting each group.
+    W=O(n), D=O(log n).
+    """
+    n = len(keys)
+    charge(max(n, 1) + nbuckets, math.log2(max(n, 2)))
+    counts = np.bincount(keys, minlength=nbuckets)
+    offsets = np.zeros(nbuckets + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    order = np.argsort(keys, kind="stable").astype(np.int64)
+    return order, offsets

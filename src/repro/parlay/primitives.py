@@ -1,0 +1,170 @@
+"""Data-parallel primitives over numpy arrays.
+
+These mirror ParlayLib's sequence primitives (map, reduce, scan, filter,
+pack, flatten).  Each primitive executes a vectorized numpy kernel and
+charges its analytic work/depth to the cost tracker:
+
+=============  ==========  ===========
+primitive      work        depth
+=============  ==========  ===========
+map / pack     n           log n
+reduce / scan  n           log n
+flatten        total size  log n
+=============  ==========  ===========
+
+The numpy kernel *is* the data-parallel loop; the cost model supplies
+what a fork-join machine would have paid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .workdepth import charge
+
+__all__ = [
+    "pmap",
+    "preduce",
+    "pscan",
+    "pscan_inclusive",
+    "pfilter",
+    "pack",
+    "pack_index",
+    "pflatten",
+    "pcount",
+    "pmin_index",
+    "pmax_index",
+    "split_blocks",
+]
+
+
+def _log2(n: int) -> float:
+    return math.log2(n) if n > 1 else 1.0
+
+
+def pmap(fn: Callable[[np.ndarray], np.ndarray], arr: np.ndarray) -> np.ndarray:
+    """Apply an elementwise (vectorized) function; W=n, D=log n."""
+    n = len(arr)
+    charge(max(n, 1), _log2(n))
+    return fn(arr)
+
+
+def preduce(arr: np.ndarray, op: str = "add") -> float:
+    """Reduce with a balanced tree; W=n, D=log n.
+
+    ``op`` is one of 'add', 'min', 'max'.
+    """
+    n = arr.shape[0]
+    charge(max(n, 1), _log2(n))
+    if n == 0:
+        if op == "add":
+            return 0.0
+        raise ValueError("empty reduce with non-add operation")
+    if op == "add":
+        return float(np.sum(arr))
+    if op == "min":
+        return float(np.min(arr))
+    if op == "max":
+        return float(np.max(arr))
+    raise ValueError(f"unknown op {op!r}")
+
+
+def pscan(arr: np.ndarray) -> tuple[np.ndarray, float]:
+    """Exclusive prefix sum; returns (prefix, total).  W=n, D=log n."""
+    n = arr.shape[0]
+    charge(max(n, 1), _log2(n))
+    out = np.zeros_like(arr)
+    if n:
+        np.cumsum(arr[:-1], out=out[1:])
+        total = float(out[-1] + arr[-1])
+    else:
+        total = 0.0
+    return out, total
+
+
+def pscan_inclusive(arr: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum; W=n, D=log n."""
+    n = arr.shape[0]
+    charge(max(n, 1), _log2(n))
+    return np.cumsum(arr)
+
+
+def pfilter(arr: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Keep elements where mask is true (parallel pack); W=n, D=log n."""
+    n = arr.shape[0]
+    charge(max(n, 1), _log2(n))
+    return arr[mask]
+
+
+# `pack` is the PBBS/ParGeo name for filter-by-flags.
+pack = pfilter
+
+
+def pack_index(mask: np.ndarray) -> np.ndarray:
+    """Indices of true flags, in order; W=n, D=log n."""
+    n = mask.shape[0]
+    charge(max(n, 1), _log2(n))
+    return np.flatnonzero(mask)
+
+
+def pflatten(seqs: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate a sequence of arrays; W=total, D=log(#seqs)."""
+    if not seqs:
+        charge(1, 1)
+        return np.empty(0)
+    total = sum(len(s) for s in seqs)
+    charge(max(total, 1), _log2(len(seqs)) + _log2(max(total, 1)))
+    return np.concatenate(list(seqs))
+
+
+def pcount(mask: np.ndarray) -> int:
+    """Number of true flags; W=n, D=log n."""
+    n = mask.shape[0]
+    charge(max(n, 1), _log2(n))
+    return int(np.count_nonzero(mask))
+
+
+def pmin_index(arr: np.ndarray) -> int:
+    """Index of the minimum (parallel min-reduce); W=n, D=log n."""
+    n = arr.shape[0]
+    if n == 0:
+        raise ValueError("pmin_index of empty array")
+    charge(n, _log2(n))
+    return int(np.argmin(arr))
+
+
+def pmax_index(arr: np.ndarray) -> int:
+    """Index of the maximum (parallel max-reduce); W=n, D=log n."""
+    n = arr.shape[0]
+    if n == 0:
+        raise ValueError("pmax_index of empty array")
+    charge(n, _log2(n))
+    return int(np.argmax(arr))
+
+
+def query_blocks(n: int, grain: int = 64) -> list[tuple[int, int]]:
+    """Blocks for data-parallel query batches.
+
+    Block count scales with n (grain-bounded), not with the local
+    worker count — a fork-join machine exposes min(n/grain, p·c)-way
+    parallelism, and the cost model should see all of it.
+    """
+    from .scheduler import get_scheduler
+
+    nblocks = max(get_scheduler().workers * 4, -(-n // max(grain, 1)))
+    return split_blocks(n, nblocks)
+
+
+def split_blocks(n: int, nblocks: int) -> list[tuple[int, int]]:
+    """Split range [0, n) into at most ``nblocks`` contiguous blocks."""
+    nblocks = max(1, min(nblocks, n)) if n > 0 else 0
+    out = []
+    for b in range(nblocks):
+        lo = n * b // nblocks
+        hi = n * (b + 1) // nblocks
+        if hi > lo:
+            out.append((lo, hi))
+    return out

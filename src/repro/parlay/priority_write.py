@@ -1,0 +1,99 @@
+"""Priority writes (Shun et al., SPAA 2013) — the reservation primitive.
+
+A priority write ``write_min(A, i, v)`` atomically sets ``A[i] =
+min(A[i], v)``.  ParGeo's reservation-based convex hull uses this to let
+many points race to reserve a facet, with the smallest point ID winning
+deterministically regardless of interleaving.
+
+Under the ``threads`` backend CPython evaluates the compare-and-swap
+loop under a per-slot lock (the GIL already serializes bytecode, but we
+do not rely on that); under the ``sequential`` backend it is a plain
+min.  Batched (vectorized) forms are provided for performance.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .workdepth import charge
+
+__all__ = [
+    "ReservationArray",
+    "write_min_batch",
+    "write_max_batch",
+    "NO_RESERVATION",
+]
+
+#: Sentinel meaning "unreserved" — larger than any point priority.
+NO_RESERVATION = np.iinfo(np.int64).max
+
+
+class ReservationArray:
+    """A fixed-size array of int64 slots supporting priority writes.
+
+    Used for facet reservations: slot value is the smallest priority
+    (point ID) that attempted to reserve the slot this round.
+    """
+
+    _N_LOCKS = 64
+
+    def __init__(self, n: int):
+        self.values = np.full(n, NO_RESERVATION, dtype=np.int64)
+        self._locks = [threading.Lock() for _ in range(self._N_LOCKS)]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def reset(self, indices: np.ndarray | None = None) -> None:
+        """Clear reservations (all slots, or just ``indices``)."""
+        if indices is None:
+            self.values.fill(NO_RESERVATION)
+            charge(len(self.values), 1)
+        else:
+            self.values[np.asarray(indices, dtype=np.int64)] = NO_RESERVATION
+            charge(max(len(indices), 1), 1)
+
+    def write_min(self, index: int, priority: int) -> bool:
+        """Attempt A[index] = min(A[index], priority); True if we won."""
+        lock = self._locks[index % self._N_LOCKS]
+        with lock:
+            charge(1, 1)
+            if priority < self.values[index]:
+                self.values[index] = priority
+                return True
+            return False
+
+    def write_min_many(self, indices: np.ndarray, priority: int) -> None:
+        """Reserve several slots with one priority (one point, many facets)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        charge(max(len(idx), 1), 1)
+        lock = self._locks[0]
+        with lock:
+            np.minimum.at(self.values, idx, priority)
+
+    def check(self, indices: np.ndarray, priority: int) -> bool:
+        """True iff this priority holds *all* of the given slots."""
+        idx = np.asarray(indices, dtype=np.int64)
+        charge(max(len(idx), 1), 1)
+        return bool(np.all(self.values[idx] == priority))
+
+
+def write_min_batch(values: np.ndarray, indices: np.ndarray, priorities: np.ndarray) -> None:
+    """Vectorized priority write: values[indices] = min(., priorities).
+
+    Duplicate indices are handled correctly (``np.minimum.at`` is an
+    unbuffered scatter-min — exactly the semantics of a batch of
+    concurrent write_mins).  W = |indices|, D = log |indices|.
+    """
+    n = len(indices)
+    charge(max(n, 1))
+    np.minimum.at(values, indices, priorities)
+
+
+def write_max_batch(values: np.ndarray, indices: np.ndarray, priorities: np.ndarray) -> None:
+    """Vectorized scatter-max; see :func:`write_min_batch`."""
+    n = len(indices)
+    charge(max(n, 1))
+    np.maximum.at(values, indices, priorities)

@@ -1,0 +1,40 @@
+"""Parallel random permutation and sampling utilities.
+
+ParGeo's randomized incremental algorithms start by randomly permuting
+the input.  The classic parallel random permutation (via random keys +
+sort) has W=O(n log n), D=O(log^2 n); we charge those costs and execute
+the numpy equivalent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .workdepth import charge
+
+__all__ = ["random_permutation", "random_sample_indices"]
+
+
+def random_permutation(n: int, seed: int = 0) -> np.ndarray:
+    """A uniformly random permutation of [0, n).
+
+    Implemented as sort-by-random-key (the standard parallel algorithm);
+    W=O(n log n), D=O(log^2 n).
+    """
+    if n <= 0:
+        charge(1, 1)
+        return np.arange(0, dtype=np.int64)
+    logn = math.log2(n) if n > 1 else 1.0
+    charge(n * logn, logn * logn)
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int64)
+
+
+def random_sample_indices(n: int, k: int, seed: int = 0) -> np.ndarray:
+    """``k`` indices sampled without replacement from [0, n)."""
+    k = min(k, n)
+    charge(max(k, 1), math.log2(k) if k > 1 else 1.0)
+    rng = np.random.default_rng(seed)
+    return rng.choice(n, size=k, replace=False).astype(np.int64)

@@ -1,0 +1,197 @@
+"""Fork-join scheduler: the execution backend of the parlay substrate.
+
+Two backends are provided:
+
+``sequential``
+    Runs tasks inline on the calling thread.  This is the default and is
+    fully deterministic.
+
+``threads``
+    Runs coarse-grained tasks on a shared ``ThreadPoolExecutor``.  Under
+    CPython the GIL serializes pure-Python bytecode, but numpy kernels
+    release the GIL, and — more importantly — running the *actual*
+    concurrent interleavings exercises the library's conflict-resolution
+    logic (reservations, priority writes) for real.
+
+Either way, the scheduler performs work-depth accounting through
+:mod:`repro.parlay.workdepth`: tasks forked together contribute
+``sum(work)`` and ``max(depth)``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from .workdepth import Cost, tracker
+
+__all__ = [
+    "Scheduler",
+    "get_scheduler",
+    "set_backend",
+    "use_backend",
+    "num_workers",
+    "parallel_do",
+    "parallel_for",
+    "parallel_map_tasks",
+]
+
+T = TypeVar("T")
+
+_DEFAULT_WORKERS = int(os.environ.get("REPRO_NUM_WORKERS", "4"))
+
+
+class Scheduler:
+    """A fork-join scheduler with pluggable backend."""
+
+    def __init__(self, backend: str = "sequential", workers: int = _DEFAULT_WORKERS):
+        if backend not in ("sequential", "threads"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.workers = max(1, workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        # Depth guard: nested forks fall back to inline execution once a
+        # worker thread is already running a task (avoids pool deadlock).
+        self._in_worker = threading.local()
+
+    # -- pool management ---------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="parlay"
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # -- fork-join ----------------------------------------------------------
+    def parallel_do(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        """Run independent thunks 'in parallel'; return results in order.
+
+        Cost accounting: each task's cost is measured in its own frame;
+        the merged contribution is sum-of-work / max-of-depth.
+        """
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            # A single task is sequential composition.
+            with tracker.frame() as c:
+                out = [tasks[0]()]
+            tracker.merge_serial(c)
+            return out
+
+        inline = (
+            self.backend == "sequential"
+            or getattr(self._in_worker, "flag", False)
+        )
+        if inline:
+            results: list[T] = []
+            costs: list[Cost] = []
+            for t in tasks:
+                with tracker.frame() as c:
+                    results.append(t())
+                costs.append(c)
+            tracker.merge_parallel(costs, fanout=len(tasks))
+            return results
+
+        pool = self._ensure_pool()
+        costs_by_idx: list[Cost | None] = [None] * len(tasks)
+        results_by_idx: list[T] = [None] * len(tasks)  # type: ignore[list-item]
+
+        def run(i: int, t: Callable[[], T]) -> None:
+            self._in_worker.flag = True
+            try:
+                with tracker.frame() as c:
+                    results_by_idx[i] = t()
+                costs_by_idx[i] = c
+            finally:
+                self._in_worker.flag = False
+
+        futures = [pool.submit(run, i, t) for i, t in enumerate(tasks)]
+        for f in futures:
+            f.result()  # re-raise worker exceptions
+        tracker.merge_parallel(
+            [c for c in costs_by_idx if c is not None], fanout=len(tasks)
+        )
+        return list(results_by_idx)
+
+    def parallel_for(
+        self,
+        n: int,
+        body: Callable[[int], None],
+        grain: int = 1,
+    ) -> None:
+        """parallel_for(i in [0, n)): body(i), chunked by ``grain``."""
+        if n <= 0:
+            return
+        if grain <= 1 and n <= self.workers * 2:
+            self.parallel_do([(lambda i=i: body(i)) for i in range(n)])
+            return
+        grain = max(grain, 1)
+        chunks = []
+        for lo in range(0, n, grain):
+            hi = min(lo + grain, n)
+
+            def run_chunk(lo=lo, hi=hi):
+                for i in range(lo, hi):
+                    body(i)
+
+            chunks.append(run_chunk)
+        self.parallel_do(chunks)
+
+    def map_tasks(self, fn: Callable[[T], object], items: Iterable[T]) -> list:
+        """Apply ``fn`` to each item as an independent parallel task."""
+        items = list(items)
+        return self.parallel_do([(lambda x=x: fn(x)) for x in items])
+
+
+_scheduler = Scheduler(os.environ.get("REPRO_BACKEND", "sequential"))
+
+
+def get_scheduler() -> Scheduler:
+    return _scheduler
+
+
+def set_backend(backend: str, workers: int | None = None) -> None:
+    """Switch the global scheduler backend ('sequential' or 'threads')."""
+    global _scheduler
+    _scheduler.shutdown()
+    _scheduler = Scheduler(backend, workers or _scheduler.workers)
+
+
+@contextmanager
+def use_backend(backend: str, workers: int | None = None):
+    """Temporarily switch backends (used by tests and benchmarks)."""
+    global _scheduler
+    old = _scheduler
+    _scheduler = Scheduler(backend, workers or old.workers)
+    try:
+        yield _scheduler
+    finally:
+        _scheduler.shutdown()
+        _scheduler = old
+
+
+def num_workers() -> int:
+    return _scheduler.workers
+
+
+def parallel_do(tasks: Sequence[Callable[[], T]]) -> list[T]:
+    return _scheduler.parallel_do(tasks)
+
+
+def parallel_for(n: int, body: Callable[[int], None], grain: int = 1) -> None:
+    _scheduler.parallel_for(n, body, grain)
+
+
+def parallel_map_tasks(fn: Callable[[T], object], items: Iterable[T]) -> list:
+    return _scheduler.map_tasks(fn, items)

@@ -1,0 +1,67 @@
+"""Semisort / group-by-key (ParlayLib's ``group_by`` family).
+
+A semisort groups equal keys together without fully sorting between
+groups — W=O(n), D=O(log n) with hashing.  We execute the numpy
+equivalent (stable argsort by key hash) and charge the semisort costs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .workdepth import charge
+
+__all__ = ["semisort_indices", "group_by", "reduce_by_key"]
+
+
+def semisort_indices(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group equal keys: returns (order, group_offsets, group_keys).
+
+    ``order`` permutes indices so equal keys are adjacent (stable within
+    a group); ``group_offsets`` (g+1,) delimits groups in that order;
+    ``group_keys`` (g,) is each group's key.  W=O(n), D=O(log n).
+    """
+    n = len(keys)
+    charge(max(n, 1), math.log2(max(n, 2)))
+    order = np.argsort(keys, kind="stable").astype(np.int64)
+    sk = keys[order]
+    if n == 0:
+        return order, np.zeros(1, dtype=np.int64), sk
+    boundaries = np.flatnonzero(np.concatenate([[True], sk[1:] != sk[:-1]]))
+    offsets = np.concatenate([boundaries, [n]]).astype(np.int64)
+    return order, offsets, sk[boundaries]
+
+
+def group_by(keys: np.ndarray, values: np.ndarray | None = None) -> dict:
+    """Dictionary {key: array of values (or indices) with that key}."""
+    order, offsets, gkeys = semisort_indices(np.asarray(keys))
+    vals = order if values is None else np.asarray(values)[order]
+    return {
+        gkeys[g].item() if hasattr(gkeys[g], "item") else gkeys[g]: vals[
+            offsets[g] : offsets[g + 1]
+        ]
+        for g in range(len(gkeys))
+    }
+
+
+def reduce_by_key(keys: np.ndarray, values: np.ndarray, op: str = "add") -> tuple[np.ndarray, np.ndarray]:
+    """Per-key reduction; returns (unique_keys, reduced_values).
+
+    ``op``: 'add', 'min', or 'max'.  W=O(n), D=O(log n).
+    """
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    if len(keys) != len(values):
+        raise ValueError("keys/values length mismatch")
+    order, offsets, gkeys = semisort_indices(keys)
+    sv = values[order]
+    charge(max(len(keys), 1), math.log2(max(len(keys), 2)))
+    out = np.empty(len(gkeys), dtype=values.dtype)
+    reducer = {"add": np.add, "min": np.minimum, "max": np.maximum}.get(op)
+    if reducer is None:
+        raise ValueError(f"unknown op {op!r}")
+    for g in range(len(gkeys)):
+        out[g] = reducer.reduce(sv[offsets[g] : offsets[g + 1]])
+    return gkeys, out

@@ -1,0 +1,101 @@
+"""Parallel sorting: sample sort and merge sort over numpy arrays.
+
+The parallel sample sort follows the classic structure (and ParlayLib's
+implementation): pick ``p log n`` random samples, sort them, pick ``p-1``
+splitters, bucket every element by binary search, stably pack buckets,
+then sort each bucket independently in parallel.  Work O(n log n), depth
+O(log^2 n) — charged to the cost tracker.
+
+``argsort_parallel`` returns indices (stable), which is what the spatial
+algorithms need (they sort point IDs by keys such as Morton codes).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .scheduler import get_scheduler
+from .workdepth import charge
+
+__all__ = ["sample_sort", "argsort_parallel", "merge_sorted", "is_sorted"]
+
+
+def _log2(n: int) -> float:
+    return math.log2(n) if n > 1 else 1.0
+
+
+def sample_sort(keys: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Return a sorted copy of ``keys`` using parallel sample sort."""
+    return keys[argsort_parallel(keys, seed=seed)]
+
+
+def argsort_parallel(keys: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Stable argsort via sample sort.  W=O(n log n), D=O(log^2 n)."""
+    n = len(keys)
+    if n <= 1:
+        charge(1, 1)
+        return np.arange(n, dtype=np.int64)
+
+    sched = get_scheduler()
+    nbuckets = min(max(2, sched.workers * 2), max(2, n // 64))
+    if n < 2048 or nbuckets < 2:
+        charge(n * _log2(n), _log2(n) ** 2)
+        return np.argsort(keys, kind="stable")
+
+    rng = np.random.default_rng(seed)
+    oversample = nbuckets * max(2, int(_log2(n)))
+    sample_idx = rng.integers(0, n, size=oversample)
+    samples = np.sort(keys[sample_idx])
+    charge(oversample * _log2(oversample), _log2(oversample))
+    splitters = samples[oversample // nbuckets :: oversample // nbuckets][: nbuckets - 1]
+
+    # Bucket each element: W=n log p, D=log n.
+    bucket_of = np.searchsorted(splitters, keys, side="right")
+    charge(n * _log2(nbuckets), _log2(n))
+
+    # Stable pack into buckets (counting sort on bucket id).
+    order = np.argsort(bucket_of, kind="stable")
+    charge(n, _log2(n))
+    counts = np.bincount(bucket_of, minlength=nbuckets)
+    offsets = np.zeros(nbuckets + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+
+    out = np.empty(n, dtype=np.int64)
+
+    def sort_bucket(b: int) -> None:
+        lo, hi = offsets[b], offsets[b + 1]
+        idx = order[lo:hi]
+        m = hi - lo
+        if m > 1:
+            charge(m * _log2(m), _log2(m) ** 2)
+            sub = np.argsort(keys[idx], kind="stable")
+            out[lo:hi] = idx[sub]
+        else:
+            charge(1, 1)
+            out[lo:hi] = idx
+
+    sched.parallel_for(nbuckets, sort_bucket)
+    return out
+
+
+def merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two sorted arrays; W=n+m, D=log(n+m) (parallel merge)."""
+    n, m = len(a), len(b)
+    charge(max(n + m, 1), _log2(n + m))
+    out = np.empty(n + m, dtype=np.result_type(a, b))
+    # np's mergesort on concatenation of two sorted runs is O(n+m)-ish;
+    # for clarity use searchsorted-based interleave.
+    pos = np.searchsorted(a, b, side="right")
+    out[pos + np.arange(m)] = b
+    mask = np.ones(n + m, dtype=bool)
+    mask[pos + np.arange(m)] = False
+    out[mask] = a
+    return out
+
+
+def is_sorted(a: np.ndarray) -> bool:
+    """Check sortedness; W=n, D=log n."""
+    charge(max(len(a), 1), _log2(len(a)))
+    return bool(np.all(a[:-1] <= a[1:])) if len(a) else True

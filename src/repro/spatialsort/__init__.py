@@ -1,0 +1,15 @@
+"""``repro.spatialsort`` — Morton (Z-order) spatial sorting."""
+
+from .hilbert import hilbert_argsort, hilbert_codes, hilbert_sort
+from .morton import morton_argsort, morton_codes, morton_sort
+from .zdtree import ZdTree
+
+__all__ = [
+    "ZdTree",
+    "hilbert_argsort",
+    "hilbert_codes",
+    "hilbert_sort",
+    "morton_argsort",
+    "morton_codes",
+    "morton_sort",
+]

@@ -1,0 +1,5 @@
+"""``repro.wspd`` — well-separated pair decomposition (Callahan–Kosaraju)."""
+
+from .wspd import WSPair, well_separated, wspd, wspd_pairs_count
+
+__all__ = ["WSPair", "well_separated", "wspd", "wspd_pairs_count"]

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.parlay import tracker, use_backend
+
+
+@pytest.fixture(autouse=True)
+def _reset_cost_tracker():
+    """Isolate work-depth accounting between tests."""
+    tracker.reset()
+    yield
+    tracker.reset()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=["sequential", "threads"])
+def any_backend(request):
+    """Run a test under both scheduler backends."""
+    with use_backend(request.param, 4) as sched:
+        yield sched

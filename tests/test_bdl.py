@@ -1,0 +1,201 @@
+"""Tests for the BDL-tree and the B1/B2 baselines."""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.bdl import BDLTree, InPlaceTree, RebuildTree
+from repro.generators import uniform
+
+ALL_TREES = [BDLTree, RebuildTree, InPlaceTree]
+
+
+def make(cls, dim, **kw):
+    if cls is BDLTree:
+        return cls(dim, buffer_size=64, **kw)
+    return cls(dim, **kw)
+
+
+class TestInsert:
+    @pytest.mark.parametrize("cls", ALL_TREES)
+    def test_bulk_then_knn(self, cls, rng):
+        pts = rng.uniform(0, 10, size=(2000, 3))
+        t = make(cls, 3)
+        gids = t.insert(pts)
+        assert np.array_equal(gids, np.arange(2000))
+        assert t.size() == 2000
+        d, i = t.knn(pts[:50], 5)
+        dd, _ = cKDTree(pts).query(pts[:50], k=5)
+        assert np.allclose(np.sqrt(d), dd)
+
+    @pytest.mark.parametrize("cls", ALL_TREES)
+    def test_incremental_batches(self, cls, rng):
+        pts = rng.uniform(0, 10, size=(1000, 2))
+        t = make(cls, 2)
+        for b in range(10):
+            t.insert(pts[b * 100 : (b + 1) * 100])
+        assert t.size() == 1000
+        d, i = t.knn(pts[:30], 4)
+        dd, _ = cKDTree(pts).query(pts[:30], k=4)
+        assert np.allclose(np.sqrt(d), dd)
+
+    @pytest.mark.parametrize("cls", ALL_TREES)
+    def test_empty_batch(self, cls):
+        t = make(cls, 2)
+        gids = t.insert(np.empty((0, 2)))
+        assert len(gids) == 0 and t.size() == 0
+
+    def test_bdl_dimension_mismatch(self, rng):
+        t = BDLTree(2)
+        with pytest.raises(ValueError):
+            t.insert(rng.normal(size=(5, 3)))
+
+    def test_bdl_rejects_bad_buffer(self):
+        with pytest.raises(ValueError):
+            BDLTree(2, buffer_size=0)
+
+
+class TestBitmask:
+    def test_logarithmic_growth(self, rng):
+        """Inserting k*X points occupies the trees spelled by binary(k)."""
+        X = 32
+        t = BDLTree(2, buffer_size=X)
+        t.insert(rng.normal(size=(X, 2)))
+        assert t.bitmask == 0b1
+        t.insert(rng.normal(size=(X, 2)))
+        assert t.bitmask == 0b10
+        t.insert(rng.normal(size=(X, 2)))
+        assert t.bitmask == 0b11
+        t.insert(rng.normal(size=(4 * X, 2)))  # total 7X -> 0b111
+        assert t.bitmask == 0b111
+
+    def test_buffer_holds_remainder(self, rng):
+        X = 32
+        t = BDLTree(2, buffer_size=X)
+        t.insert(rng.normal(size=(X + 5, 2)))
+        assert len(t.buf_pts) == 5
+        assert t.bitmask == 0b1
+
+    def test_figure7_sequence(self, rng):
+        """The exact insert sequence of paper Figure 7 (X points, then
+        X+1, X+1, X-1) drives the bitmask through 1, 2, 3, 4."""
+        X = 16
+        t = BDLTree(2, buffer_size=X)
+        t.insert(rng.normal(size=(X, 2)))
+        assert t.bitmask == 1 and len(t.buf_pts) == 0
+        t.insert(rng.normal(size=(X + 1, 2)))
+        assert t.bitmask == 2 and len(t.buf_pts) == 1
+        t.insert(rng.normal(size=(X + 1, 2)))
+        assert t.bitmask == 3 and len(t.buf_pts) == 2
+        t.insert(rng.normal(size=(X - 1, 2)))
+        assert t.bitmask == 4 and len(t.buf_pts) == 1
+
+
+class TestDelete:
+    @pytest.mark.parametrize("cls", ALL_TREES)
+    def test_delete_and_query(self, cls, rng):
+        pts = rng.uniform(0, 10, size=(1200, 3))
+        t = make(cls, 3)
+        t.insert(pts)
+        assert t.erase(pts[:400]) == 400
+        assert t.size() == 800
+        d, i = t.knn(pts[:30], 3)
+        dd, _ = cKDTree(pts[400:]).query(pts[:30], k=3)
+        assert np.allclose(np.sqrt(d), dd)
+
+    @pytest.mark.parametrize("cls", ALL_TREES)
+    def test_delete_absent(self, cls, rng):
+        t = make(cls, 2)
+        t.insert(rng.uniform(0, 1, size=(100, 2)))
+        assert t.erase(rng.uniform(5, 6, size=(20, 2))) == 0
+        assert t.size() == 100
+
+    def test_bdl_rebalance_reinserts(self, rng):
+        """Deleting most of a tree pushes its survivors down the
+        structure (Alg. 4's half-capacity rule)."""
+        X = 32
+        pts = rng.uniform(0, 10, size=(4 * X, 2))
+        t = BDLTree(2, buffer_size=X)
+        t.insert(pts)  # occupies tree 2 (bit 0b100)
+        assert t.bitmask == 0b100
+        t.erase(pts[: 3 * X])  # drops below half of 4X
+        assert t.size() == X
+        # survivors must have been reinserted into a smaller tree
+        assert t.bitmask == 0b1
+        d, i = t.knn(pts[3 * X :], 1)
+        assert np.allclose(d[:, 0], 0)
+
+    @pytest.mark.parametrize("cls", ALL_TREES)
+    def test_delete_everything_then_insert(self, cls, rng):
+        pts = rng.uniform(0, 10, size=(300, 2))
+        t = make(cls, 2)
+        t.insert(pts)
+        assert t.erase(pts) == 300
+        assert t.size() == 0
+        t.insert(pts[:10])
+        assert t.size() == 10
+
+
+class TestMixedWorkload:
+    @pytest.mark.parametrize("cls", ALL_TREES)
+    def test_interleaved_updates_match_reference(self, cls, rng):
+        """Randomized insert/delete interleaving; k-NN must always match
+        a fresh scipy tree over the live set."""
+        t = make(cls, 2)
+        live = np.empty((0, 2))
+        for step in range(8):
+            batch = rng.uniform(0, 10, size=(150, 2))
+            t.insert(batch)
+            live = np.vstack([live, batch])
+            if step % 2 == 1:
+                kill = live[:60]
+                t.erase(kill)
+                live = live[60:]
+            assert t.size() == len(live)
+        q = rng.uniform(0, 10, size=(25, 2))
+        d, i = t.knn(q, 4)
+        dd, _ = cKDTree(live).query(q, k=4)
+        assert np.allclose(np.sqrt(d), dd)
+
+    def test_bdl_gather_points_complete(self, rng):
+        pts = rng.uniform(0, 10, size=(500, 2))
+        t = BDLTree(2, buffer_size=64)
+        t.insert(pts)
+        t.erase(pts[:100])
+        coords, gids = t.gather_points()
+        assert len(coords) == 400
+        assert set(gids.tolist()) == set(range(100, 500))
+
+
+class TestB2Skew:
+    def test_incremental_build_degrades_leaves(self, rng):
+        """B2 never restructures: many small batches leave far bigger
+        leaves than one bulk build — the effect behind paper Fig. 14
+        (k-NN scan cost grows with leaf size)."""
+
+        def max_leaf(t):
+            out = [0]
+
+            def rec(n):
+                if n is None:
+                    return
+                if n.is_leaf:
+                    out[0] = max(out[0], sum(n.alive))
+                else:
+                    rec(n.left)
+                    rec(n.right)
+
+            rec(t.root)
+            return out[0]
+
+        pts = rng.uniform(0, 10, size=(4000, 2))
+        bulk = InPlaceTree(2)
+        bulk.insert(pts)
+        inc = InPlaceTree(2)
+        for b in range(40):
+            inc.insert(pts[b * 100 : (b + 1) * 100])
+        assert max_leaf(inc) > 4 * max_leaf(bulk)
+        # queries still exact despite the skew
+        d, _ = inc.knn(pts[:20], 3)
+        dd, _ = cKDTree(pts).query(pts[:20], k=3)
+        assert np.allclose(np.sqrt(d), dd)

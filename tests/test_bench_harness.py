@@ -1,0 +1,65 @@
+"""Tests for the benchmark harness itself."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Measurement, PAPER_CORES, Table, bench_scale, measure
+from repro.parlay.workdepth import Cost
+
+
+class TestMeasure:
+    def test_returns_result_and_time(self):
+        m = measure("x", lambda a: a * 2, 21)
+        assert m.result == 42
+        assert m.t1 >= 0
+
+    def test_repeat_keeps_best(self):
+        m = measure("x", sum, [1, 2, 3], repeat=3)
+        assert m.result == 6
+
+    def test_speedup_clamped_at_one(self):
+        m = Measurement("deep", 1.0, Cost(work=10, depth=1e9))
+        assert m.speedup() == 1.0
+        assert m.tp() == pytest.approx(1.0)
+
+    def test_tp_scales_with_speedup(self):
+        m = Measurement("wide", 2.0, Cost(work=1e8, depth=10))
+        assert m.tp(36) < 2.0 / 10
+
+    def test_paper_cores_constant(self):
+        assert 36 < PAPER_CORES < 72
+
+
+class TestTable:
+    def test_render_contains_rows(self):
+        t = Table("demo", columns=("a", "b"))
+        t.add_raw("row1", 1.5, "x")
+        out = t.render()
+        assert "demo" in out and "row1" in out and "1.5" in out
+
+    def test_add_measurement(self):
+        t = Table("demo")
+        t.add(Measurement("m", 1.0, Cost(1000, 5)))
+        assert len(t.rows) == 1
+        name, t1, tp, sp, extra = t.rows[0]
+        assert name == "m" and t1 == 1.0 and sp >= 1.0
+
+    def test_show_prints(self, capsys):
+        t = Table("demo")
+        t.add_raw("r", 1.0)
+        t.show()
+        assert "demo" in capsys.readouterr().out
+
+
+class TestBenchScale:
+    def test_default_identity(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale(1000) == 1000
+
+    def test_env_scaling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_scale(1000) == 500
+
+    def test_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0001")
+        assert bench_scale(1000) >= 16

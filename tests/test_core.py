@@ -1,0 +1,132 @@
+"""Tests for the geometry kernel: points, boxes, distances."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BBox,
+    PointSet,
+    as_array,
+    as_points,
+    bbox_of,
+    cross_dists_sq,
+    dist,
+    dist_sq,
+    dists_sq_to_point,
+    pairwise_dists_sq,
+)
+
+
+class TestPointSet:
+    def test_basic_wrapping(self):
+        ps = PointSet(np.zeros((5, 3)))
+        assert len(ps) == 5 and ps.dim == 3
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            PointSet(np.zeros(5))
+
+    def test_subset_and_concat(self, rng):
+        ps = PointSet(rng.normal(size=(10, 2)))
+        sub = ps.subset([0, 3])
+        assert len(sub) == 2
+        assert len(ps.concat(sub)) == 12
+
+    def test_concat_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            PointSet(np.zeros((2, 2))).concat(PointSet(np.zeros((2, 3))))
+
+    def test_equality(self):
+        a = PointSet(np.ones((2, 2)))
+        assert a == PointSet(np.ones((2, 2)))
+        assert a != PointSet(np.zeros((2, 2)))
+
+    def test_as_points_idempotent(self):
+        ps = as_points([[1, 2], [3, 4]])
+        assert as_points(ps) is ps
+
+    def test_as_array_coerces(self):
+        arr = as_array([[1, 2]])
+        assert arr.dtype == np.float64 and arr.flags["C_CONTIGUOUS"]
+
+    def test_copy_is_deep(self):
+        a = PointSet(np.zeros((2, 2)))
+        b = a.copy()
+        b.coords[0, 0] = 9
+        assert a.coords[0, 0] == 0
+
+
+class TestBBox:
+    def test_bbox_of(self, rng):
+        pts = rng.normal(size=(50, 3))
+        b = bbox_of(pts)
+        assert np.all(b.lo <= pts.min(axis=0))
+        assert np.all(b.hi >= pts.max(axis=0))
+
+    def test_bbox_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            bbox_of(np.empty((0, 2)))
+
+    def test_contains_and_intersects(self):
+        b = BBox([0, 0], [2, 2])
+        assert b.contains_point(np.array([1, 1]))
+        assert not b.contains_point(np.array([3, 0]))
+        assert b.intersects(BBox([1, 1], [3, 3]))
+        assert not b.intersects(BBox([5, 5], [6, 6]))
+
+    def test_contains_box(self):
+        outer = BBox([0, 0], [10, 10])
+        assert outer.contains_box(BBox([1, 1], [2, 2]))
+        assert not BBox([1, 1], [2, 2]).contains_box(outer)
+
+    def test_dist_sq_to_point(self):
+        b = BBox([0, 0], [1, 1])
+        assert b.dist_sq_to_point(np.array([0.5, 0.5])) == 0
+        assert b.dist_sq_to_point(np.array([2.0, 1.0])) == pytest.approx(1.0)
+
+    def test_max_dist_to_farthest_corner(self):
+        b = BBox([0, 0], [1, 1])
+        assert b.max_dist_sq_to_point(np.array([0, 0])) == pytest.approx(2.0)
+
+    def test_ball_predicates(self):
+        b = BBox([0, 0], [1, 1])
+        assert b.within_ball(np.array([0.5, 0.5]), 1.0)
+        assert not b.within_ball(np.array([0.5, 0.5]), 0.5)
+        assert b.intersects_ball(np.array([1.5, 0.5]), 0.6)
+        assert not b.intersects_ball(np.array([3, 3]), 1.0)
+
+    def test_union_and_geometry(self):
+        u = BBox([0, 0], [1, 1]).union(BBox([2, 2], [3, 3]))
+        assert u == BBox([0, 0], [3, 3])
+        assert u.longest_dim() in (0, 1)
+        assert u.max_side() == 3
+        assert u.diameter() == pytest.approx(np.sqrt(18))
+        assert np.allclose(u.center, [1.5, 1.5])
+
+
+class TestDistances:
+    def test_dist_sq_scalar(self):
+        assert dist_sq(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 25.0
+        assert dist(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_dists_to_point(self, rng):
+        pts = rng.normal(size=(100, 4))
+        q = rng.normal(size=4)
+        out = dists_sq_to_point(pts, q)
+        ref = ((pts - q) ** 2).sum(axis=1)
+        assert np.allclose(out, ref)
+
+    def test_pairwise_nonnegative_and_symmetric(self, rng):
+        pts = rng.normal(size=(40, 3))
+        D = pairwise_dists_sq(pts)
+        assert np.all(D >= 0)
+        assert np.allclose(D, D.T)
+        assert np.allclose(np.diag(D), 0, atol=1e-9)
+
+    def test_cross_dists_match_pairwise(self, rng):
+        a = rng.normal(size=(10, 2))
+        b = rng.normal(size=(15, 2))
+        C = cross_dists_sq(a, b)
+        for i in range(10):
+            for j in range(15):
+                assert C[i, j] == pytest.approx(dist_sq(a[i], b[j]), abs=1e-9)

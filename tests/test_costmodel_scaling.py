@@ -1,0 +1,124 @@
+"""Empirical checks of the paper's work/depth bounds via the cost model.
+
+The tracker records the actual work and depth of each run; these tests
+verify the asymptotics the paper proves:
+
+* Theorem 1 — kd-tree construction: O(n log n) work, polylog depth.
+* Theorem 2 — batch deletion: O(B log n) work, O(log B log n) depth.
+* Theorem 4 — BDL batch updates: amortized O(B log^2 (n+B)) work.
+* k-NN queries: empirically logarithmic work per query (Bentley/
+  Friedman), despite the worst-case O(n) bound (Theorem 3).
+"""
+
+import numpy as np
+
+from repro.bdl import BDLTree
+from repro.generators import uniform
+from repro.kdtree import KDTree
+from repro.parlay import tracker
+
+
+def cost_of(fn, *args, **kwargs):
+    tracker.reset()
+    out = fn(*args, **kwargs)
+    c = tracker.total()
+    tracker.reset()
+    return out, c
+
+
+class TestTheorem1Build:
+    def test_work_nearly_linear(self):
+        """W(4n) / W(n) should be ~4·(log ratio), far below 16 (quadratic)."""
+        n1, n2 = 4000, 16000
+        _, c1 = cost_of(KDTree, uniform(n1, 3, seed=1).coords)
+        _, c2 = cost_of(KDTree, uniform(n2, 3, seed=1).coords)
+        ratio = c2.work / c1.work
+        assert 3.0 < ratio < 8.0  # ~ (n2/n1) * log factor
+
+    def test_depth_polylog(self):
+        """Depth grows far slower than work."""
+        _, c = cost_of(KDTree, uniform(30000, 3, seed=2).coords)
+        assert c.depth < 0.02 * c.work
+        assert c.depth < 5000  # polylog-ish at this size
+
+    def test_depth_scales_sublinearly(self):
+        _, c1 = cost_of(KDTree, uniform(5000, 2, seed=3).coords)
+        _, c2 = cost_of(KDTree, uniform(20000, 2, seed=3).coords)
+        assert c2.depth < 2.5 * c1.depth  # 4x points, ~constant depth
+
+
+class TestTheorem2Delete:
+    def test_work_linear_in_batch(self):
+        pts = uniform(20000, 2, seed=4).coords
+        t1 = KDTree(pts.copy())
+        _, small = cost_of(t1.erase, pts[:500])
+        t2 = KDTree(pts.copy())
+        _, large = cost_of(t2.erase, pts[:4000])
+        # 8x batch -> ~8x work, certainly not 64x
+        assert large.work < 16 * small.work
+
+    def test_depth_much_less_than_work(self):
+        pts = uniform(20000, 2, seed=5).coords
+        t = KDTree(pts)
+        _, c = cost_of(t.erase, pts[:4000])
+        assert c.depth < 0.05 * c.work
+
+
+class TestTheorem4BDLUpdates:
+    def test_amortized_insert_work(self):
+        """Total insert work over n one-batch-at-a-time insertions is
+        O(n log^2 n): check the per-point amortized cost grows slowly."""
+        def stream(n):
+            pts = uniform(n, 2, seed=6).coords
+            t = BDLTree(2, buffer_size=64)
+            tracker.reset()
+            for i in range(0, n, 64):
+                t.insert(pts[i : i + 64])
+            c = tracker.total()
+            tracker.reset()
+            return c.work / n
+
+        a = stream(2048)
+        b = stream(8192)
+        # amortized per-point work ratio ~ (log 8192 / log 2048)^2 ≈ 1.4
+        assert b < 3.0 * a
+
+    def test_knn_work_logarithmic_per_query(self):
+        per_query = []
+        for n in (4000, 16000):
+            pts = uniform(n, 2, seed=7).coords
+            t = KDTree(pts)
+            _, c = cost_of(t.knn, pts[:200], 5)
+            per_query.append(c.work / 200)
+        # 4x data, per-query work up by far less than 4x
+        assert per_query[1] < 2.0 * per_query[0]
+
+
+class TestSpeedupOrdering:
+    def test_queries_scale_better_than_updates(self):
+        """Table 1's headline ordering: data-parallel queries have more
+        simulated parallelism than batch-dynamic updates."""
+        from repro.parlay.workdepth import simulated_speedup
+
+        pts = uniform(10000, 2, seed=8).coords
+        t = KDTree(pts)
+        _, c_q = cost_of(t.knn, pts, 5)
+
+        def updates():
+            b = BDLTree(2, buffer_size=256)
+            for i in range(0, 10000, 1000):
+                b.insert(pts[i : i + 1000])
+
+        _, c_u = cost_of(updates)
+        assert simulated_speedup(c_q, 46.8) > simulated_speedup(c_u, 46.8)
+
+    def test_divide_conquer_scales_best_2d(self):
+        """Fig. 8's conclusion: D&C hull has the highest parallelism of
+        the 2d hull algorithms."""
+        from repro.hull import divide_conquer_2d, randinc_hull2d
+        from repro.parlay.workdepth import simulated_speedup
+
+        pts = uniform(30000, 2, seed=9).coords
+        _, c_dc = cost_of(divide_conquer_2d, pts)
+        _, c_ri = cost_of(randinc_hull2d, pts)
+        assert simulated_speedup(c_dc, 46.8) > simulated_speedup(c_ri, 46.8)

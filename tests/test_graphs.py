@@ -1,0 +1,135 @@
+"""Tests for the spatial graph generators (Module 3)."""
+
+import numpy as np
+import pytest
+
+from repro.generators import uniform
+from repro.graphs import (
+    Graph,
+    beta_skeleton,
+    delaunay_graph,
+    emst_graph,
+    gabriel_graph,
+    knn_graph,
+    wspd_spanner,
+)
+
+
+class TestGraphContainer:
+    def test_dedup_and_canonical(self):
+        g = Graph(4, np.array([[1, 0], [0, 1], [2, 3]]))
+        assert g.m == 2
+        assert np.all(g.edges[:, 0] <= g.edges[:, 1])
+
+    def test_degree(self):
+        g = Graph(4, np.array([[0, 1], [1, 2]]))
+        assert np.array_equal(g.degree(), [1, 2, 1, 0])
+
+    def test_csr_symmetric(self):
+        g = Graph(3, np.array([[0, 1], [1, 2]]), np.array([5.0, 7.0]))
+        indptr, indices, data = g.adjacency_csr()
+        assert indptr[-1] == 4  # each edge twice
+        assert set(indices[indptr[1] : indptr[2]].tolist()) == {0, 2}
+
+    def test_to_networkx(self):
+        g = Graph(3, np.array([[0, 1]]), np.array([2.5]))
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg[0][1]["weight"] == 2.5
+
+
+class TestKNNGraph:
+    def test_degree_at_least_k(self, rng):
+        pts = rng.uniform(0, 10, size=(300, 2))
+        g = knn_graph(pts, 4)
+        assert np.all(g.degree() >= 4)
+
+    def test_edges_are_true_neighbors(self, rng):
+        from scipy.spatial import cKDTree
+
+        pts = rng.uniform(0, 10, size=(200, 2))
+        g = knn_graph(pts, 3)
+        dd, ii = cKDTree(pts).query(pts, k=4)
+        expected = set()
+        for i in range(len(pts)):
+            for j in ii[i, 1:]:
+                expected.add((min(i, j), max(i, j)))
+        got = set(map(tuple, g.edges.tolist()))
+        assert got == expected
+
+    def test_no_self_loops(self, rng):
+        g = knn_graph(rng.normal(size=(100, 3)), 2)
+        assert np.all(g.edges[:, 0] != g.edges[:, 1])
+
+
+class TestProximityHierarchy:
+    """EMST ⊆ relative-nbhd ⊆ Gabriel ⊆ Delaunay (classic inclusions)."""
+
+    @pytest.fixture(scope="class")
+    def pts(self):
+        return uniform(400, 2, seed=21).coords
+
+    def _eset(self, g):
+        return set(map(tuple, g.edges.tolist()))
+
+    def test_gabriel_subset_of_delaunay(self, pts):
+        assert self._eset(gabriel_graph(pts)) <= self._eset(delaunay_graph(pts))
+
+    def test_emst_subset_of_gabriel(self, pts):
+        assert self._eset(emst_graph(pts)) <= self._eset(gabriel_graph(pts))
+
+    def test_beta1_is_gabriel(self, pts):
+        """β = 1 lune == diametral disk == Gabriel graph."""
+        assert self._eset(beta_skeleton(pts, 1.0)) == self._eset(gabriel_graph(pts))
+
+    def test_beta_monotone_decreasing(self, pts):
+        e1 = self._eset(beta_skeleton(pts, 1.0))
+        e2 = self._eset(beta_skeleton(pts, 1.7))
+        assert e2 <= e1
+
+    def test_gabriel_disks_empty(self, pts):
+        g = gabriel_graph(pts)
+        for (u, v) in g.edges[:50]:
+            mid = 0.5 * (pts[u] + pts[v])
+            r = 0.5 * np.linalg.norm(pts[u] - pts[v])
+            d = np.linalg.norm(pts - mid, axis=1)
+            inside = np.flatnonzero(d < r * (1 - 1e-9))
+            assert set(inside.tolist()) <= {u, v}
+
+    def test_beta_requires_ge_one(self, pts):
+        with pytest.raises(ValueError):
+            beta_skeleton(pts, 0.5)
+
+
+class TestSpanner:
+    def test_stretch_bound(self, rng):
+        """WSPD spanner with s=8 is a 1.5-ish spanner: verify measured
+        stretch <= (s+4)/(s-4) on sampled pairs."""
+        import networkx as nx
+
+        pts = rng.uniform(0, 10, size=(150, 2))
+        s = 8.0
+        t_bound = (s + 4) / (s - 4)
+        g = wspd_spanner(pts, s=s).to_networkx()
+        lengths = dict(nx.all_pairs_dijkstra_path_length(g))
+        for _ in range(100):
+            i, j = rng.integers(0, len(pts), size=2)
+            if i == j:
+                continue
+            direct = np.linalg.norm(pts[i] - pts[j])
+            assert lengths[int(i)][int(j)] <= t_bound * direct + 1e-9
+
+    def test_connected(self, rng):
+        import networkx as nx
+
+        pts = rng.uniform(0, 10, size=(200, 2))
+        assert nx.is_connected(wspd_spanner(pts, s=6).to_networkx())
+
+    def test_linear_size(self):
+        pts = uniform(1000, 2, seed=5).coords
+        g = wspd_spanner(pts, s=5)
+        assert g.m < 60 * len(pts)  # O(n) edges, moderate constant
+
+    def test_rejects_small_separation(self, rng):
+        with pytest.raises(ValueError):
+            wspd_spanner(rng.normal(size=(10, 2)), s=4.0)

@@ -1,0 +1,136 @@
+"""Tests for the Hilbert curve, radix sort, all-NN, and BDL range search."""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.bdl import BDLTree
+from repro.generators import uniform, visual_var
+from repro.kdtree import all_nearest_neighbors
+from repro.parlay import radix_argsort, radix_sort
+from repro.spatialsort import (
+    hilbert_codes,
+    hilbert_sort,
+    morton_sort,
+)
+
+
+class TestHilbert:
+    def test_4x4_grid_is_a_bijection(self):
+        g = np.array([[x, y] for x in range(4) for y in range(4)], dtype=float)
+        c = hilbert_codes(g, bits=2)
+        assert sorted(c.tolist()) == list(range(16))
+
+    def test_curve_is_connected_on_grid(self):
+        """Consecutive Hilbert cells are grid neighbors (the defining
+        property the Z-order curve lacks)."""
+        n = 8
+        g = np.array([[x, y] for x in range(n) for y in range(n)], dtype=float)
+        c = hilbert_codes(g, bits=3)
+        order = np.argsort(c)
+        steps = np.abs(np.diff(g[order], axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_better_locality_than_morton(self):
+        for d in (2, 3):
+            pts = uniform(4000, d, seed=9).coords
+            gh = np.linalg.norm(np.diff(hilbert_sort(pts), axis=0), axis=1).mean()
+            gm = np.linalg.norm(np.diff(morton_sort(pts), axis=0), axis=1).mean()
+            assert gh < gm
+
+    def test_rejects_bad_dims(self, rng):
+        with pytest.raises(ValueError):
+            hilbert_codes(rng.normal(size=(5, 4)))
+        with pytest.raises(ValueError):
+            hilbert_codes(rng.normal(size=(5, 2)), bits=40)
+
+    def test_empty(self):
+        assert len(hilbert_codes(np.empty((0, 2)))) == 0
+
+    def test_deterministic(self, rng):
+        pts = rng.normal(size=(100, 3))
+        assert np.array_equal(hilbert_codes(pts), hilbert_codes(pts))
+
+
+class TestRadixSort:
+    def test_matches_numpy(self, rng):
+        keys = rng.integers(0, 1 << 50, size=10_000).astype(np.uint64)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+    def test_stable(self):
+        keys = np.array([3, 1, 3, 1, 3], dtype=np.uint64)
+        order = radix_argsort(keys)
+        ones = order[keys[order] == 1]
+        assert np.array_equal(ones, np.sort(ones))
+
+    def test_small_and_empty(self):
+        assert len(radix_argsort(np.empty(0, dtype=np.uint64))) == 0
+        assert radix_argsort(np.array([5], dtype=np.uint64)).tolist() == [0]
+
+    def test_rejects_floats(self, rng):
+        with pytest.raises(ValueError):
+            radix_argsort(rng.normal(size=10))
+
+    def test_single_pass_small_keys(self, rng):
+        keys = rng.integers(0, 100, size=5000)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+
+class TestAllNN:
+    def test_matches_scipy(self, rng):
+        for d in (2, 3, 5):
+            pts = rng.uniform(0, 10, size=(2000, d))
+            dist, idx = all_nearest_neighbors(pts)
+            dd, ii = cKDTree(pts).query(pts, k=2)
+            assert np.allclose(dist, dd[:, 1])
+            # indices may differ under exact ties; distances decide
+            tie_free = dd[:, 1] < np.nextafter(dd[:, 1], np.inf)
+            assert np.allclose(
+                np.linalg.norm(pts - pts[idx], axis=1), dd[:, 1]
+            )
+
+    def test_clustered(self):
+        pts = visual_var(3000, 2, seed=4).coords
+        dist, idx = all_nearest_neighbors(pts)
+        dd, _ = cKDTree(pts).query(pts, k=2)
+        assert np.allclose(dist, dd[:, 1])
+
+    def test_no_self_matches(self, rng):
+        pts = rng.normal(size=(500, 2))
+        _, idx = all_nearest_neighbors(pts)
+        assert np.all(idx != np.arange(500))
+
+    def test_duplicates_pair_up(self):
+        pts = np.vstack([np.zeros((2, 2)), np.ones((3, 2))])
+        dist, idx = all_nearest_neighbors(pts)
+        assert np.allclose(dist[:2], 0)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            all_nearest_neighbors(np.zeros((1, 2)))
+
+
+class TestBDLRange:
+    def test_box_across_trees_and_buffer(self, rng):
+        pts = rng.uniform(0, 10, size=(1500, 2))
+        t = BDLTree(2, buffer_size=127)  # odd size -> nonempty buffer
+        for b in range(0, 1500, 300):
+            t.insert(pts[b : b + 300])
+        got = set(t.range_query_box([3, 3], [6, 6]).tolist())
+        ref = set(np.flatnonzero(np.all((pts >= 3) & (pts <= 6), axis=1)).tolist())
+        assert got == ref
+
+    def test_ball_respects_deletions(self, rng):
+        pts = rng.uniform(0, 10, size=(1000, 3))
+        t = BDLTree(3, buffer_size=128)
+        t.insert(pts)
+        t.erase(pts[:400])
+        got = set(t.range_query_ball([5, 5, 5], 3.0).tolist())
+        keep = pts[400:]
+        ref_local = cKDTree(keep).query_ball_point([5.0, 5, 5], 3.0)
+        ref = {r + 400 for r in ref_local}
+        assert got == ref
+
+    def test_empty_result(self):
+        t = BDLTree(2)
+        assert len(t.range_query_box([0, 0], [1, 1])) == 0

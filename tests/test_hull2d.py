@@ -1,0 +1,135 @@
+"""Tests for 2D convex hull algorithms (all four variants)."""
+
+import numpy as np
+import pytest
+from scipy.spatial import ConvexHull
+
+from repro.generators import in_sphere, on_cube, on_sphere, uniform
+from repro.hull import (
+    divide_conquer_2d,
+    quickhull2d_parallel,
+    quickhull2d_seq,
+    randinc_hull2d,
+    reservation_quickhull2d,
+)
+
+
+def hull_set(fn, pts):
+    out = fn(pts)
+    h = out[0] if isinstance(out, tuple) else out
+    return np.asarray(h)
+
+
+ALL_2D = [
+    quickhull2d_seq,
+    quickhull2d_parallel,
+    divide_conquer_2d,
+    randinc_hull2d,
+    reservation_quickhull2d,
+]
+
+
+def signed_area(poly):
+    x, y = poly[:, 0], poly[:, 1]
+    return 0.5 * np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y)
+
+
+class TestAgainstQhull:
+    @pytest.mark.parametrize("fn", ALL_2D)
+    @pytest.mark.parametrize(
+        "make", [uniform, in_sphere, on_sphere, on_cube], ids=["U", "IS", "OS", "OC"]
+    )
+    def test_vertex_set_matches(self, fn, make, rng):
+        pts = make(3000, 2, seed=7).coords
+        ref = set(ConvexHull(pts).vertices.tolist())
+        assert set(hull_set(fn, pts).tolist()) == ref
+
+    @pytest.mark.parametrize("fn", ALL_2D)
+    def test_ccw_order(self, fn, rng):
+        pts = rng.normal(size=(500, 2))
+        h = hull_set(fn, pts)
+        assert signed_area(pts[h]) > 0
+
+    @pytest.mark.parametrize("fn", ALL_2D)
+    def test_all_points_inside(self, fn, rng):
+        pts = rng.normal(size=(800, 2))
+        h = hull_set(fn, pts)
+        poly = pts[h]
+        for i in range(len(poly)):
+            a, b = poly[i], poly[(i + 1) % len(poly)]
+            cr = (b[0] - a[0]) * (pts[:, 1] - a[1]) - (b[1] - a[1]) * (pts[:, 0] - a[0])
+            assert cr.min() > -1e-9
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("fn", [quickhull2d_seq, quickhull2d_parallel, divide_conquer_2d])
+    def test_triangle(self, fn):
+        pts = np.array([[0.0, 0], [1, 0], [0, 1]])
+        assert set(hull_set(fn, pts).tolist()) == {0, 1, 2}
+
+    def test_square_with_interior(self):
+        pts = np.array([[0.0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]])
+        h = hull_set(quickhull2d_seq, pts)
+        assert set(h.tolist()) == {0, 1, 2, 3}
+
+    def test_collinear_interior_points_excluded(self):
+        pts = np.array([[0.0, 0], [2, 0], [1, 0], [0, 2], [2, 2]])
+        h = hull_set(quickhull2d_seq, pts)
+        assert 2 not in set(h.tolist())
+
+    def test_duplicates(self):
+        pts = np.array([[0.0, 0], [1, 0], [0, 1], [0, 0], [1, 0]])
+        h = hull_set(quickhull2d_seq, pts)
+        assert len(h) == 3
+
+    def test_single_point(self):
+        assert len(quickhull2d_seq(np.zeros((1, 2)))) == 1
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ValueError):
+            quickhull2d_seq(np.zeros((5, 3)))
+
+    @pytest.mark.parametrize("fn", [randinc_hull2d, reservation_quickhull2d])
+    def test_all_collinear_raises(self, fn):
+        pts = np.column_stack([np.arange(10.0), np.arange(10.0)])
+        with pytest.raises(ValueError):
+            fn(pts)
+
+
+class TestReservationBehavior:
+    def test_batch_one_equals_sequential_result(self, rng):
+        pts = rng.normal(size=(400, 2))
+        h1, _ = randinc_hull2d(pts, batch=1, seed=3)
+        h2, _ = randinc_hull2d(pts, batch=16, seed=3)
+        assert set(h1.tolist()) == set(h2.tolist())
+
+    def test_stats_populated(self, rng):
+        pts = rng.normal(size=(2000, 2))
+        _, st = randinc_hull2d(pts)
+        assert st.rounds > 0
+        assert st.reservations_succeeded <= st.reservations_attempted
+        assert st.facets_created >= 3
+
+    def test_contention_lowers_success_rate(self):
+        """Tiny hull (gaussian) -> few facets -> reservation conflicts;
+        hull on a circle -> many facets -> high success (paper §6.1)."""
+        rng = np.random.default_rng(0)
+        small_out = rng.normal(size=(5000, 2))  # hull ~ log n
+        big_out = on_sphere(5000, 2, seed=1).coords
+        _, st_small = randinc_hull2d(small_out, batch=32)
+        _, st_big = randinc_hull2d(big_out, batch=32)
+        rate_small = st_small.reservations_succeeded / st_small.reservations_attempted
+        rate_big = st_big.reservations_succeeded / st_big.reservations_attempted
+        assert rate_big > rate_small
+
+    def test_deterministic_given_seed(self, rng):
+        pts = rng.normal(size=(1000, 2))
+        h1, _ = randinc_hull2d(pts, seed=5)
+        h2, _ = randinc_hull2d(pts, seed=5)
+        assert np.array_equal(h1, h2)
+
+    def test_threads_backend_same_hull(self, rng, any_backend):
+        pts = rng.normal(size=(3000, 2))
+        h, _ = reservation_quickhull2d(pts)
+        ref = set(ConvexHull(pts).vertices.tolist())
+        assert set(h.tolist()) == ref

@@ -1,0 +1,174 @@
+"""Tests for 3D convex hull algorithms."""
+
+import numpy as np
+import pytest
+from scipy.spatial import ConvexHull
+
+from repro.generators import dragon, in_sphere, on_cube, on_sphere, thai_statue, uniform
+from repro.hull import (
+    build_initial_tetrahedron,
+    divide_conquer_3d,
+    hull3d_facets,
+    pseudo_hull3d,
+    pseudohull_prune,
+    quickhull3d_seq,
+    randinc_hull3d,
+    reservation_quickhull3d,
+)
+
+ALL_3D = [
+    quickhull3d_seq,
+    randinc_hull3d,
+    reservation_quickhull3d,
+    pseudo_hull3d,
+    divide_conquer_3d,
+]
+
+
+class TestAgainstQhull:
+    @pytest.mark.parametrize("fn", ALL_3D)
+    @pytest.mark.parametrize(
+        "make", [uniform, in_sphere, on_sphere, on_cube], ids=["U", "IS", "OS", "OC"]
+    )
+    def test_vertex_set_matches(self, fn, make):
+        pts = make(2000, 3, seed=11).coords
+        ref = set(ConvexHull(pts).vertices.tolist())
+        h = np.asarray(fn(pts)[0])
+        assert set(h.tolist()) == ref
+
+    @pytest.mark.parametrize("fn", ALL_3D)
+    def test_scan_standins(self, fn):
+        pts = thai_statue(1500, seed=2).coords
+        ref = set(ConvexHull(pts).vertices.tolist())
+        assert set(np.asarray(fn(pts)[0]).tolist()) == ref
+
+    def test_dragon_standin(self):
+        pts = dragon(1500, seed=4).coords
+        ref = set(ConvexHull(pts).vertices.tolist())
+        h, _ = reservation_quickhull3d(pts)
+        assert set(h.tolist()) == ref
+
+
+class TestFacetStructure:
+    def test_initial_tetra_valid(self, rng):
+        pts = rng.normal(size=(100, 3))
+        h = build_initial_tetrahedron(pts)
+        assert h.n_alive_facets() == 4
+        # neighbors fully wired
+        for f in range(4):
+            assert all(n >= 0 for n in h.nbr[f])
+        # interior point below all facets
+        for f in range(4):
+            assert h.normal[f] @ h.interior - h.offset[f] < 0
+
+    def test_hull_facets_closed_surface(self, rng):
+        """Every edge of the output hull must border exactly 2 facets."""
+        pts = rng.normal(size=(500, 3))
+        tris = hull3d_facets(pts)
+        from collections import Counter
+
+        edge_count = Counter()
+        for (a, b, c) in tris:
+            for u, v in ((a, b), (b, c), (c, a)):
+                edge_count[(min(u, v), max(u, v))] += 1
+        assert all(v == 2 for v in edge_count.values())
+
+    def test_euler_formula(self, rng):
+        """V - E + F = 2 for the hull (triangulated sphere)."""
+        pts = rng.normal(size=(800, 3))
+        tris = hull3d_facets(pts)
+        V = len(np.unique(tris))
+        F = len(tris)
+        E = 3 * F // 2
+        assert V - E + F == 2
+
+    def test_facets_oriented_outward(self, rng):
+        pts = rng.normal(size=(300, 3))
+        tris = hull3d_facets(pts)
+        centroid = pts.mean(axis=0)
+        for (a, b, c) in tris:
+            n = np.cross(pts[b] - pts[a], pts[c] - pts[a])
+            assert n @ (pts[a] - centroid) > 0
+
+    def test_check_convex_reports_contained(self, rng):
+        pts = rng.normal(size=(400, 3))
+        h = build_initial_tetrahedron(pts)
+        # finish the hull sequentially via the public function
+        from repro.hull.hull3d import quickhull3d_seq as qh
+
+        qh(pts)  # smoke: the helper below uses its own instance
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_initial_tetrahedron(np.zeros((3, 3)))
+        line = np.column_stack([np.arange(10.0)] * 3)
+        with pytest.raises(ValueError):
+            build_initial_tetrahedron(line)
+        plane = np.column_stack(
+            [np.random.default_rng(0).normal(size=(10, 2)), np.zeros(10)]
+        )
+        with pytest.raises(ValueError):
+            build_initial_tetrahedron(plane)
+
+
+class TestPseudohull:
+    def test_prune_keeps_all_hull_vertices(self, rng):
+        pts = rng.normal(size=(3000, 3))
+        keep = pseudohull_prune(pts)
+        ref = set(ConvexHull(pts).vertices.tolist())
+        assert ref <= set(keep.tolist())
+
+    def test_prune_discards_interior(self):
+        pts = in_sphere(5000, 3, seed=3).coords
+        keep = pseudohull_prune(pts)
+        assert len(keep) < len(pts)
+
+    def test_prune_more_effective_on_uniform_than_shell(self):
+        """Paper §6.1: pruning leaves far fewer points on U than on IS
+        (2316 vs 83669 at 10M) — check the ordering at our scale."""
+        u = uniform(8000, 3, seed=5).coords
+        shell = on_sphere(8000, 3, seed=5).coords
+        left_u = len(pseudohull_prune(u))
+        left_s = len(pseudohull_prune(shell))
+        assert left_u < left_s
+
+    def test_threshold_respected(self, rng):
+        pts = rng.normal(size=(2000, 3))
+        small = pseudohull_prune(pts, threshold=16)
+        large = pseudohull_prune(pts, threshold=512)
+        assert len(large) >= len(small)
+
+
+class TestReservation3D:
+    def test_stats_and_determinism(self, rng):
+        pts = rng.normal(size=(2000, 3))
+        h1, st = randinc_hull3d(pts, seed=9)
+        h2, _ = randinc_hull3d(pts, seed=9)
+        assert np.array_equal(h1, h2)
+        assert st.rounds > 0
+        assert st.reservations_succeeded <= st.reservations_attempted
+
+    def test_contention_on_small_output(self):
+        """Small hull output -> fewer facets -> lower reservation
+        success (paper's 3D-U vs 3D-IS observation)."""
+        rng = np.random.default_rng(1)
+        small_out = rng.normal(size=(4000, 3))
+        big_out = on_sphere(4000, 3, seed=2).coords
+        _, st_s = randinc_hull3d(small_out, batch=32)
+        _, st_b = randinc_hull3d(big_out, batch=32)
+        rate_s = st_s.reservations_succeeded / max(st_s.reservations_attempted, 1)
+        rate_b = st_b.reservations_succeeded / max(st_b.reservations_attempted, 1)
+        assert rate_b > rate_s
+
+    def test_batch_sizes_agree(self, rng):
+        pts = rng.normal(size=(800, 3))
+        ref = set(np.asarray(quickhull3d_seq(pts)[0]).tolist())
+        for batch in (1, 4, 64):
+            h, _ = reservation_quickhull3d(pts, batch=batch)
+            assert set(h.tolist()) == ref
+
+    def test_threads_backend(self, rng, any_backend):
+        pts = rng.normal(size=(1500, 3))
+        ref = set(ConvexHull(pts).vertices.tolist())
+        h, _ = reservation_quickhull3d(pts)
+        assert set(h.tolist()) == ref

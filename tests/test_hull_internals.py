@@ -1,0 +1,155 @@
+"""White-box tests of the hull machinery internals."""
+
+import numpy as np
+import pytest
+
+from repro.hull.facets3d import FacetHull3D, build_initial_tetrahedron
+from repro.hull.incremental2d import _EdgeHull2D, _init_hull
+
+
+class TestFacetHull3DInternals:
+    @pytest.fixture
+    def hull(self, rng):
+        pts = rng.normal(size=(200, 3))
+        return build_initial_tetrahedron(pts)
+
+    def test_unit_normals(self, hull):
+        for f in range(4):
+            assert np.linalg.norm(hull.normal[f]) == pytest.approx(1.0)
+
+    def test_conflict_lists_partition_outside_points(self, hull):
+        """Every point is either a corner, inside the tetra, or in
+        exactly one conflict list."""
+        assigned = np.concatenate([hull.fpts[f] for f in range(4)])
+        assert len(assigned) == len(np.unique(assigned))
+        for f in range(4):
+            for pid in hull.fpts[f]:
+                assert hull.facet_of[pid] == f
+        inside = np.flatnonzero(hull.facet_of < 0)
+        for pid in inside:
+            for f in range(4):
+                d = float(hull.pts[pid] @ hull.normal[f] - hull.offset[f])
+                assert d <= hull.eps
+
+    def test_visible_set_is_connected_region(self, hull):
+        pid = int(hull.fpts[0][0]) if len(hull.fpts[0]) else None
+        if pid is None:
+            pytest.skip("no conflicts on facet 0")
+        vis = hull.visible_set(pid)
+        assert int(hull.facet_of[pid]) in vis
+        for f in vis:
+            assert hull.visible_one(f, pid)
+
+    def test_horizon_is_closed_cycle(self, hull):
+        for f0 in range(4):
+            if not len(hull.fpts[f0]):
+                continue
+            pid = int(hull.fpts[f0][0])
+            vis = hull.visible_set(pid)
+            ridges = hull.horizon(vis)
+            # every vertex appears exactly once as a ridge start and end
+            starts = [u for (u, v, g) in ridges]
+            ends = [v for (u, v, g) in ridges]
+            assert sorted(starts) == sorted(set(starts))
+            assert sorted(starts) == sorted(ends)
+            break
+
+    def test_insert_point_maintains_neighbor_symmetry(self, hull):
+        inserted = 0
+        for f in range(4):
+            if len(hull.fpts[f]):
+                pid = int(hull.far[f][1])
+                vis = hull.visible_set(pid)
+                hull.insert_point(pid, vis)
+                inserted += 1
+                break
+        assert inserted
+        for f in range(len(hull.va)):
+            if not hull.alive[f]:
+                continue
+            for g in hull.nbr[f]:
+                assert g >= 0 and hull.alive[g]
+                assert f in hull.nbr[g]
+
+    def test_check_convex_after_insertions(self, rng):
+        pts = rng.normal(size=(300, 3))
+        from repro.hull import quickhull3d_seq
+
+        quickhull3d_seq(pts)  # public API; then verify via fresh build
+        h = build_initial_tetrahedron(pts)
+        # finish it manually
+        while True:
+            f = next(
+                (f for f in range(len(h.va)) if h.alive[f] and h.far[f][1] >= 0),
+                None,
+            )
+            if f is None:
+                break
+            pid = h.far[f][1]
+            h.insert_point(pid, h.visible_set(pid))
+        assert h.check_convex() <= h.eps * 10
+
+
+class TestEdgeHull2DInternals:
+    @pytest.fixture
+    def hull2(self, rng):
+        pts = rng.normal(size=(100, 2))
+        h, live = _init_hull(pts)
+        return h, live
+
+    def test_initial_triangle_is_circular(self, hull2):
+        h, _ = hull2
+        e = 0
+        seen = []
+        for _ in range(3):
+            seen.append(e)
+            e = h.enext[e]
+        assert e == 0 and sorted(seen) == [0, 1, 2]
+        for e in range(3):
+            assert h.eprev[h.enext[e]] == e
+
+    def test_conflicts_visible_and_unique(self, hull2):
+        h, live = hull2
+        for e in range(3):
+            for pid in h.epts[e]:
+                assert h.visible_one(e, int(pid))
+                assert h.facet_of[pid] == e
+        all_pts = np.concatenate([h.epts[e] for e in range(3)])
+        assert len(all_pts) == len(np.unique(all_pts))
+
+    def test_far_cache_is_true_maximum(self, hull2):
+        h, _ = hull2
+        for e in range(3):
+            if len(h.epts[e]) == 0:
+                continue
+            dists = h.vis_dist(e, h.epts[e])
+            assert h.far[e][0] == pytest.approx(float(dists.max()))
+
+    def test_insert_point_splices_consistently(self, hull2):
+        h, live = hull2
+        pid = int(live[0])
+        chain = h.visible_chain(pid)
+        n_alive_before = sum(h.alive)
+        h.insert_point(pid, chain)
+        assert sum(h.alive) == n_alive_before - len(chain) + 2
+        # walk the hull: circular, consistent, contains pid
+        start = next(e for e in range(len(h.eu)) if h.alive[e])
+        verts = []
+        e = start
+        for _ in range(sum(h.alive)):
+            assert h.alive[e]
+            assert h.ev[e] == h.eu[h.enext[e]]
+            verts.append(h.eu[e])
+            e = h.enext[e]
+        assert e == start
+        assert pid in verts
+
+    def test_stats_accumulate(self, hull2):
+        h, live = hull2
+        pid = int(live[0])
+        chain = h.visible_chain(pid)
+        touched_before = h.stats.facets_touched
+        assert touched_before >= len(chain)
+        h.insert_point(pid, chain)
+        assert h.stats.points_touched > 0
+        assert h.stats.facets_created == 3 + 2

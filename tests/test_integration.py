@@ -1,0 +1,132 @@
+"""Cross-module integration tests: full pipelines through the public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench import measure
+from repro.parlay import tracker, use_backend
+
+
+class TestPublicAPI:
+    def test_quickstart_flow(self):
+        pts = repro.uniform(2000, 2, seed=0)
+        hull = repro.convex_hull(pts)
+        assert len(hull) >= 3
+        ball = repro.smallest_enclosing_ball(pts)
+        assert ball.contains_all(pts.coords, tol=1e-8)
+        tree = repro.KDTree(pts)
+        d, i = tree.knn(pts.coords[:10], k=5)
+        assert d.shape == (10, 5)
+
+    def test_convex_hull_method_dispatch(self):
+        pts2 = repro.uniform(500, 2, seed=1)
+        pts3 = repro.uniform(500, 3, seed=1)
+        refs2 = set(repro.convex_hull(pts2, "divide_conquer").tolist())
+        refs3 = set(repro.convex_hull(pts3, "divide_conquer").tolist())
+        for m in ("quickhull", "randinc"):
+            assert set(repro.convex_hull(pts2, m).tolist()) == refs2
+            assert set(repro.convex_hull(pts3, m).tolist()) == refs3
+        assert set(repro.convex_hull(pts3, "pseudo").tolist()) == refs3
+        with pytest.raises(ValueError):
+            repro.convex_hull(pts2, "nope")
+        with pytest.raises(ValueError):
+            repro.convex_hull(repro.uniform(10, 5, seed=0))
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestPipelines:
+    def test_hull_of_emst_leaves(self):
+        """Compose modules: EMST leaves (degree-1) are on the data's
+        periphery-ish; hull of the full set contains hull of leaves."""
+        pts = repro.uniform(800, 2, seed=3).coords
+        g = repro.emst_graph(pts)
+        deg = g.degree()
+        leaves = np.flatnonzero(deg == 1)
+        assert len(leaves) >= 2
+        full_h = set(repro.convex_hull(pts).tolist())
+        # every hull vertex of the full set has degree <= 3 in the EMST
+        assert np.all(deg[list(full_h)] <= 6)
+
+    def test_knn_graph_connectivity_feeds_clustering(self):
+        pts = repro.visual_var(600, 2, seed=4).coords
+        dend = repro.hdbscan(pts, min_pts=4)
+        labels = dend.cut(np.median(dend.heights))
+        assert labels.min() >= 0
+
+    def test_dynamic_then_static_agreement(self):
+        """Points streamed through a BDL-tree answer the same k-NN as a
+        static tree over the final set."""
+        pts = repro.uniform(1500, 3, seed=5).coords
+        bdl = repro.BDLTree(3, buffer_size=128)
+        for i in range(0, 1500, 250):
+            bdl.insert(pts[i : i + 250])
+        bdl.erase(pts[:200])
+        static = repro.KDTree(pts[200:], gids=np.arange(200, 1500))
+        q = pts[:40]
+        d1, i1 = bdl.knn(q, 4)
+        d2, i2 = static.knn(q, 4)
+        assert np.allclose(d1, d2)
+        assert np.array_equal(i1, i2)
+
+    def test_zdtree_vs_bdl_same_answers(self):
+        pts = repro.uniform(1200, 3, seed=6).coords
+        z = repro.ZdTree(3)
+        b = repro.BDLTree(3, buffer_size=128)
+        z.insert(pts)
+        b.insert(pts)
+        dz, _ = z.knn(pts[:30], 5)
+        db, _ = b.knn(pts[:30], 5)
+        assert np.allclose(dz, db)
+
+    def test_spanner_approximates_emst_weight(self):
+        """MST computed on the spanner is within the stretch factor of
+        the true EMST weight."""
+        import networkx as nx
+
+        pts = repro.uniform(300, 2, seed=7).coords
+        _, w = repro.emst(pts)
+        sp = repro.wspd_spanner(pts, s=8).to_networkx()
+        t = nx.minimum_spanning_tree(sp)
+        w_sp = sum(d["weight"] for _, _, d in t.edges(data=True))
+        assert w.sum() <= w_sp <= 1.5 * w.sum() + 1e-9
+
+
+class TestBackendsAgree:
+    def test_same_results_both_backends(self):
+        pts = repro.uniform(3000, 2, seed=8).coords
+        results = {}
+        for backend in ("sequential", "threads"):
+            with use_backend(backend, 4):
+                h = repro.convex_hull(pts)
+                b = repro.smallest_enclosing_ball(pts)
+                t = repro.KDTree(pts)
+                d, _ = t.knn(pts[:20], 3)
+                results[backend] = (set(h.tolist()), b.radius, d.copy())
+        assert results["sequential"][0] == results["threads"][0]
+        assert results["sequential"][1] == pytest.approx(results["threads"][1])
+        assert np.allclose(results["sequential"][2], results["threads"][2])
+
+
+class TestHarness:
+    def test_measure_captures_cost(self):
+        m = measure("hull", repro.convex_hull, repro.uniform(2000, 2, seed=9))
+        assert m.t1 > 0
+        assert m.cost.work > 0
+        assert m.speedup(36) >= 1.0
+        assert m.tp(36) <= m.t1 * 1.01
+
+    def test_tracker_clean_after_measure(self):
+        measure("x", lambda: repro.convex_hull(repro.uniform(500, 2, seed=1)))
+        assert tracker.total().work == 0
+
+    def test_table_renders(self):
+        from repro.bench import Table
+
+        t = Table("demo")
+        m = measure("row", lambda: 1)
+        t.add(m)
+        out = t.render()
+        assert "demo" in out and "row" in out

@@ -1,0 +1,139 @@
+"""Tests for hull measures, point-set I/O, and the CLI."""
+
+import os
+
+import numpy as np
+import pytest
+from scipy.spatial import ConvexHull
+
+import repro
+from repro.generators import load_points, save_points
+from repro.hull import (
+    hull_area_2d,
+    hull_surface_area_3d,
+    hull_volume_3d,
+    points_in_hull_2d,
+    points_in_hull_3d,
+    polygon_area,
+    quickhull2d_seq,
+)
+
+
+class TestMeasures:
+    def test_polygon_area_unit_square(self):
+        sq = np.array([[0.0, 0], [1, 0], [1, 1], [0, 1]])
+        assert polygon_area(sq) == pytest.approx(1.0)
+        assert polygon_area(sq[::-1]) == pytest.approx(-1.0)
+
+    def test_hull_area_matches_qhull(self, rng):
+        pts = rng.normal(size=(500, 2))
+        assert hull_area_2d(pts) == pytest.approx(ConvexHull(pts).volume, rel=1e-9)
+
+    def test_hull_volume_matches_qhull(self, rng):
+        pts = rng.normal(size=(400, 3))
+        ref = ConvexHull(pts)
+        assert hull_volume_3d(pts) == pytest.approx(ref.volume, rel=1e-9)
+        assert hull_surface_area_3d(pts) == pytest.approx(ref.area, rel=1e-9)
+
+    def test_points_in_hull_2d(self, rng):
+        pts = rng.uniform(0, 10, size=(200, 2))
+        poly = pts[quickhull2d_seq(pts)]
+        inside = points_in_hull_2d(poly, pts)
+        assert inside.all()  # hull contains its own points
+        outside = points_in_hull_2d(poly, np.array([[100.0, 100.0]]))
+        assert not outside[0]
+
+    def test_points_in_hull_3d(self, rng):
+        pts = rng.uniform(0, 10, size=(150, 3))
+        inside = points_in_hull_3d(pts, pts)
+        assert inside.all()
+        assert not points_in_hull_3d(pts, np.array([[99.0, 99, 99]]))[0]
+
+    def test_degenerate_small(self):
+        assert hull_area_2d(np.zeros((2, 2))) == 0.0
+
+
+class TestIO:
+    @pytest.mark.parametrize("ext", ["npy", "csv", "txt", "pbbs"])
+    def test_roundtrip(self, ext, rng, tmp_path):
+        pts = rng.normal(size=(50, 3))
+        path = tmp_path / f"pts.{ext}"
+        save_points(path, pts)
+        back = load_points(path)
+        assert np.allclose(back.coords, pts)
+
+    def test_pbbs_header(self, rng, tmp_path):
+        pts = rng.normal(size=(10, 2))
+        path = tmp_path / "pts.pbbs"
+        save_points(path, pts)
+        first = path.read_text().splitlines()[0]
+        assert first == "pbbs_sequencePoint2d"
+
+    def test_single_row_text(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("1.5,2.5\n")
+        ps = load_points(path)
+        assert ps.coords.shape == (1, 2)
+
+    def test_unknown_format_rejected(self, rng, tmp_path):
+        with pytest.raises(ValueError):
+            save_points(tmp_path / "pts.xyz", rng.normal(size=(3, 2)))
+
+
+class TestCLI:
+    def _run(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_generate_and_hull(self, tmp_path, capsys):
+        f = str(tmp_path / "p.npy")
+        assert self._run("generate", "2D-U-500", "-o", f) == 0
+        assert self._run("hull", f, "--method", "quickhull") == 0
+        out = capsys.readouterr().out
+        assert "hull:" in out
+
+    def test_seb_and_knn(self, tmp_path, capsys):
+        f = str(tmp_path / "p.npy")
+        self._run("generate", "3D-IS-400", "-o", f)
+        assert self._run("seb", f, "--method", "sampling") == 0
+        nn = str(tmp_path / "nn.csv")
+        assert self._run("knn", f, "-k", "3", "-o", nn) == 0
+        mat = np.loadtxt(nn, delimiter=",")
+        assert mat.shape == (400, 3)
+
+    def test_emst_and_graph(self, tmp_path, capsys):
+        f = str(tmp_path / "p.npy")
+        self._run("generate", "2D-U-300", "-o", f)
+        e = str(tmp_path / "mst.csv")
+        assert self._run("emst", f, "-o", e) == 0
+        mst = np.loadtxt(e, delimiter=",")
+        assert len(mst) == 299
+        assert self._run("graph", f, "--kind", "gabriel") == 0
+
+    def test_cluster(self, tmp_path, capsys):
+        f = str(tmp_path / "p.npy")
+        self._run("generate", "2D-V-400", "-o", f)
+        labels = str(tmp_path / "labels.txt")
+        assert self._run("cluster", f, "--eps", "1.0", "-o", labels) == 0
+        lab = np.loadtxt(labels)
+        assert len(lab) == 400
+
+
+class TestRNGGraph:
+    def test_rng_is_beta2(self, rng):
+        from repro.graphs import beta_skeleton, relative_neighborhood_graph
+
+        pts = rng.uniform(0, 10, size=(150, 2))
+        a = set(map(tuple, relative_neighborhood_graph(pts).edges.tolist()))
+        b = set(map(tuple, beta_skeleton(pts, 2.0).edges.tolist()))
+        assert a == b
+
+    def test_rng_between_emst_and_gabriel(self, rng):
+        from repro.graphs import emst_graph, gabriel_graph, relative_neighborhood_graph
+
+        pts = rng.uniform(0, 10, size=(200, 2))
+        e = set(map(tuple, emst_graph(pts).edges.tolist()))
+        r = set(map(tuple, relative_neighborhood_graph(pts).edges.tolist()))
+        g = set(map(tuple, gabriel_graph(pts).edges.tolist()))
+        assert e <= r <= g

@@ -1,0 +1,129 @@
+"""Unit tests for the data-parallel sequence primitives."""
+
+import numpy as np
+import pytest
+
+from repro.parlay import (
+    pack,
+    pack_index,
+    pcount,
+    pfilter,
+    pflatten,
+    pmap,
+    pmax_index,
+    pmin_index,
+    preduce,
+    pscan,
+    pscan_inclusive,
+    split_blocks,
+    tracker,
+)
+
+
+class TestMapReduce:
+    def test_pmap_elementwise(self):
+        out = pmap(lambda a: a * 2, np.arange(10))
+        assert np.array_equal(out, np.arange(10) * 2)
+
+    def test_preduce_add(self):
+        assert preduce(np.arange(101, dtype=float)) == 5050.0
+
+    def test_preduce_min_max(self):
+        a = np.array([3.0, -1.0, 7.0, 2.0])
+        assert preduce(a, "min") == -1.0
+        assert preduce(a, "max") == 7.0
+
+    def test_preduce_empty_add_is_zero(self):
+        assert preduce(np.empty(0)) == 0.0
+
+    def test_preduce_empty_min_raises(self):
+        with pytest.raises(ValueError):
+            preduce(np.empty(0), "min")
+
+    def test_preduce_unknown_op(self):
+        with pytest.raises(ValueError):
+            preduce(np.ones(3), "mul")
+
+    def test_pmin_pmax_index(self):
+        a = np.array([5.0, 1.0, 9.0, 1.0])
+        assert pmin_index(a) == 1  # first minimum
+        assert pmax_index(a) == 2
+
+    def test_pmin_index_empty_raises(self):
+        with pytest.raises(ValueError):
+            pmin_index(np.empty(0))
+
+
+class TestScan:
+    def test_exclusive_scan(self):
+        prefix, total = pscan(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.array_equal(prefix, [0.0, 1.0, 3.0, 6.0])
+        assert total == 10.0
+
+    def test_exclusive_scan_empty(self):
+        prefix, total = pscan(np.empty(0))
+        assert len(prefix) == 0 and total == 0.0
+
+    def test_inclusive_scan(self):
+        out = pscan_inclusive(np.array([1, 2, 3]))
+        assert np.array_equal(out, [1, 3, 6])
+
+    def test_scan_matches_cumsum_random(self, rng):
+        a = rng.normal(size=1000)
+        prefix, total = pscan(a)
+        assert np.allclose(prefix[1:], np.cumsum(a)[:-1])
+        assert np.isclose(total, a.sum())
+
+
+class TestPack:
+    def test_pfilter_keeps_order(self):
+        a = np.arange(10)
+        out = pfilter(a, a % 2 == 0)
+        assert np.array_equal(out, [0, 2, 4, 6, 8])
+
+    def test_pack_alias(self):
+        assert pack is pfilter
+
+    def test_pack_index(self):
+        mask = np.array([True, False, True, True])
+        assert np.array_equal(pack_index(mask), [0, 2, 3])
+
+    def test_pcount(self):
+        assert pcount(np.array([True, False, True])) == 2
+
+    def test_pflatten(self):
+        out = pflatten([np.array([1, 2]), np.array([3]), np.array([], dtype=int)])
+        assert np.array_equal(out, [1, 2, 3])
+
+    def test_pflatten_empty_list(self):
+        assert len(pflatten([])) == 0
+
+
+class TestSplitBlocks:
+    def test_covers_range_exactly(self):
+        blocks = split_blocks(100, 7)
+        assert blocks[0][0] == 0 and blocks[-1][1] == 100
+        for (a, b), (c, d) in zip(blocks, blocks[1:]):
+            assert b == c
+
+    def test_more_blocks_than_items(self):
+        blocks = split_blocks(3, 10)
+        assert len(blocks) == 3
+        assert all(hi - lo == 1 for lo, hi in blocks)
+
+    def test_zero_items(self):
+        assert split_blocks(0, 4) == []
+
+
+class TestCostCharging:
+    def test_primitives_charge_work(self):
+        tracker.reset()
+        preduce(np.arange(1000, dtype=float))
+        c = tracker.total()
+        assert c.work >= 1000
+        assert 0 < c.depth < 100
+
+    def test_map_charges_linear_work(self):
+        tracker.reset()
+        pmap(lambda a: a + 1, np.arange(512))
+        assert tracker.total().work >= 512

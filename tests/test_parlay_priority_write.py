@@ -1,0 +1,78 @@
+"""Tests for priority writes (the reservation primitive)."""
+
+import numpy as np
+
+from repro.parlay import (
+    NO_RESERVATION,
+    ReservationArray,
+    parallel_do,
+    use_backend,
+    write_max_batch,
+    write_min_batch,
+)
+
+
+class TestReservationArray:
+    def test_initially_unreserved(self):
+        r = ReservationArray(4)
+        assert np.all(r.values == NO_RESERVATION)
+
+    def test_write_min_wins_with_smaller(self):
+        r = ReservationArray(2)
+        assert r.write_min(0, 10)
+        assert not r.write_min(0, 20)
+        assert r.write_min(0, 5)
+        assert r.values[0] == 5
+
+    def test_check_requires_all_slots(self):
+        r = ReservationArray(3)
+        r.write_min_many(np.array([0, 1]), 7)
+        assert r.check(np.array([0, 1]), 7)
+        r.write_min(1, 3)
+        assert not r.check(np.array([0, 1]), 7)
+
+    def test_reset_all(self):
+        r = ReservationArray(3)
+        r.write_min(2, 1)
+        r.reset()
+        assert np.all(r.values == NO_RESERVATION)
+
+    def test_reset_subset(self):
+        r = ReservationArray(3)
+        r.write_min_many(np.array([0, 1, 2]), 4)
+        r.reset(np.array([1]))
+        assert r.values[1] == NO_RESERVATION
+        assert r.values[0] == 4
+
+    def test_concurrent_min_is_deterministic(self):
+        """Under real threads, the smallest priority always ends up
+        winning every contended slot, regardless of interleaving."""
+        with use_backend("threads", 4):
+            r = ReservationArray(8)
+            idx = np.arange(8)
+            parallel_do(
+                [lambda p=p: r.write_min_many(idx, p) for p in range(20, 0, -1)]
+            )
+            assert np.all(r.values == 1)
+
+
+class TestBatchWrites:
+    def test_write_min_batch_duplicates(self):
+        v = np.full(4, 100, dtype=np.int64)
+        write_min_batch(v, np.array([1, 1, 2]), np.array([7, 3, 9]))
+        assert v[1] == 3 and v[2] == 9 and v[0] == 100
+
+    def test_write_max_batch(self):
+        v = np.zeros(3, dtype=np.int64)
+        write_max_batch(v, np.array([0, 0, 2]), np.array([5, 9, 1]))
+        assert v[0] == 9 and v[2] == 1
+
+    def test_batch_matches_sequential_semantics(self, rng):
+        v1 = np.full(16, 1 << 30, dtype=np.int64)
+        v2 = v1.copy()
+        idx = rng.integers(0, 16, size=200)
+        pri = rng.integers(0, 1000, size=200)
+        write_min_batch(v1, idx, pri)
+        for i, p in zip(idx, pri):
+            v2[i] = min(v2[i], p)
+        assert np.array_equal(v1, v2)

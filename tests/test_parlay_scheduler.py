@@ -1,0 +1,129 @@
+"""Tests for the fork-join scheduler and its two backends."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parlay import (
+    Scheduler,
+    get_scheduler,
+    parallel_do,
+    parallel_for,
+    set_backend,
+    tracker,
+    use_backend,
+)
+from repro.parlay.workdepth import simulated_speedup
+
+
+class TestParallelDo:
+    def test_results_in_order(self, any_backend):
+        out = any_backend.parallel_do([lambda i=i: i * i for i in range(10)])
+        assert out == [i * i for i in range(10)]
+
+    def test_empty(self, any_backend):
+        assert any_backend.parallel_do([]) == []
+
+    def test_single_task(self, any_backend):
+        assert any_backend.parallel_do([lambda: 42]) == [42]
+
+    def test_exception_propagates(self, any_backend):
+        def boom():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            any_backend.parallel_do([boom, lambda: 1])
+
+    def test_nested_fork_join(self, any_backend):
+        def outer(i):
+            return sum(any_backend.parallel_do([lambda j=j: i + j for j in range(3)]))
+
+        out = any_backend.parallel_do([lambda i=i: outer(i) for i in range(4)])
+        assert out == [sum(i + j for j in range(3)) for i in range(4)]
+
+    def test_threads_actually_use_pool(self):
+        with use_backend("threads", 4) as sched:
+            names = sched.parallel_do(
+                [lambda: threading.current_thread().name for _ in range(8)]
+            )
+        assert any("parlay" in n for n in names)
+
+    def test_sequential_stays_on_caller_thread(self):
+        with use_backend("sequential") as sched:
+            names = sched.parallel_do(
+                [lambda: threading.current_thread().name for _ in range(4)]
+            )
+        assert all(n == threading.current_thread().name for n in names)
+
+
+class TestParallelFor:
+    def test_visits_all_indices(self, any_backend):
+        seen = [False] * 100
+        any_backend.parallel_for(100, lambda i: seen.__setitem__(i, True), grain=8)
+        assert all(seen)
+
+    def test_zero_iterations(self, any_backend):
+        any_backend.parallel_for(0, lambda i: 1 / 0)
+
+    def test_grain_chunks(self, any_backend):
+        acc = []
+        any_backend.parallel_for(10, acc.append, grain=3)
+        assert sorted(acc) == list(range(10))
+
+
+class TestBackendManagement:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler("mpi")
+
+    def test_use_backend_restores(self):
+        before = get_scheduler()
+        with use_backend("threads", 2):
+            assert get_scheduler().backend == "threads"
+        assert get_scheduler() is before
+
+    def test_set_backend_switches(self):
+        old = get_scheduler()
+        try:
+            set_backend("threads", 3)
+            assert get_scheduler().backend == "threads"
+            assert get_scheduler().workers == 3
+        finally:
+            set_backend(old.backend, old.workers)
+
+    def test_module_level_helpers(self):
+        out = parallel_do([lambda: 1, lambda: 2])
+        assert out == [1, 2]
+        box = []
+        parallel_for(5, box.append)
+        assert sorted(box) == list(range(5))
+
+
+class TestCostComposition:
+    def test_parallel_depth_is_max_not_sum(self):
+        from repro.parlay.workdepth import charge
+
+        tracker.reset()
+        parallel_do([lambda: charge(100, 10) for _ in range(8)])
+        c = tracker.total()
+        assert c.work >= 800
+        # depth ~ max(10) + log-ish fork overhead, far below 80
+        assert c.depth < 40
+
+    def test_serial_depth_accumulates(self):
+        from repro.parlay.workdepth import charge
+
+        tracker.reset()
+        for _ in range(8):
+            charge(100, 10)
+        assert tracker.total().depth >= 80
+
+    def test_parallel_work_beats_serial_speedup(self):
+        """A wide parallel computation should show model speedup."""
+        from repro.parlay.workdepth import charge
+
+        tracker.reset()
+        parallel_do([lambda: charge(10_000, 14) for _ in range(32)])
+        c = tracker.total()
+        assert simulated_speedup(c, 36.0) > 8

@@ -1,0 +1,69 @@
+"""Tests for parallel sample sort and merge."""
+
+import numpy as np
+
+from repro.parlay import argsort_parallel, is_sorted, merge_sorted, sample_sort
+
+
+class TestSampleSort:
+    def test_small_array(self, rng):
+        a = rng.normal(size=100)
+        assert np.array_equal(sample_sort(a), np.sort(a))
+
+    def test_large_array_goes_through_buckets(self, rng):
+        a = rng.normal(size=50_000)
+        assert np.array_equal(sample_sort(a), np.sort(a))
+
+    def test_argsort_is_stable(self):
+        a = np.array([2, 1, 2, 1, 2, 1] * 1000)
+        idx = argsort_parallel(a)
+        ones = idx[a[idx] == 1]
+        assert np.array_equal(ones, np.sort(ones))
+
+    def test_argsort_permutation(self, rng):
+        a = rng.integers(0, 50, size=10_000)
+        idx = argsort_parallel(a)
+        assert np.array_equal(np.sort(idx), np.arange(len(a)))
+        assert is_sorted(a[idx])
+
+    def test_empty_and_singleton(self):
+        assert len(sample_sort(np.empty(0))) == 0
+        assert np.array_equal(sample_sort(np.array([3.0])), [3.0])
+
+    def test_all_equal_keys(self):
+        a = np.full(5000, 7.0)
+        assert np.array_equal(sample_sort(a), a)
+
+    def test_already_sorted(self):
+        a = np.arange(10_000, dtype=float)
+        assert np.array_equal(sample_sort(a), a)
+
+    def test_reverse_sorted(self):
+        a = np.arange(10_000, dtype=float)[::-1]
+        assert np.array_equal(sample_sort(a), np.sort(a))
+
+    def test_under_threads_backend(self, rng, any_backend):
+        a = rng.normal(size=20_000)
+        assert np.array_equal(sample_sort(a), np.sort(a))
+
+
+class TestMerge:
+    def test_merge_two_sorted(self, rng):
+        a = np.sort(rng.normal(size=500))
+        b = np.sort(rng.normal(size=700))
+        out = merge_sorted(a, b)
+        assert np.array_equal(out, np.sort(np.concatenate([a, b])))
+
+    def test_merge_with_empty(self):
+        a = np.array([1.0, 2.0])
+        assert np.array_equal(merge_sorted(a, np.empty(0)), a)
+        assert np.array_equal(merge_sorted(np.empty(0), a), a)
+
+    def test_merge_interleaved(self):
+        out = merge_sorted(np.array([0, 2, 4]), np.array([1, 3, 5]))
+        assert np.array_equal(out, np.arange(6))
+
+    def test_is_sorted(self):
+        assert is_sorted(np.array([1, 1, 2, 3]))
+        assert not is_sorted(np.array([2, 1]))
+        assert is_sorted(np.empty(0))

@@ -1,0 +1,157 @@
+"""Tests for smallest enclosing ball algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.generators import in_sphere, on_sphere, uniform
+from repro.seb import (
+    Ball,
+    ball_of_support,
+    circumball,
+    orthant_scan_once,
+    orthant_scan_seb,
+    parallel_welzl,
+    sampling_seb,
+    smallest_enclosing_ball,
+    welzl_mtf,
+    welzl_mtf_pivot,
+    welzl_seq,
+)
+
+ALL_SEB = [welzl_seq, welzl_mtf, welzl_mtf_pivot, orthant_scan_seb, parallel_welzl]
+
+
+class TestCircumball:
+    def test_single_point(self):
+        b = circumball(np.array([[1.0, 2.0]]))
+        assert b.radius == 0 and np.allclose(b.center, [1, 2])
+
+    def test_two_points_midpoint(self):
+        b = circumball(np.array([[0.0, 0.0], [2.0, 0.0]]))
+        assert np.allclose(b.center, [1, 0]) and b.radius == pytest.approx(1.0)
+
+    def test_equilateral_triangle(self):
+        pts = np.array([[0.0, 0], [1, 0], [0.5, np.sqrt(3) / 2]])
+        b = circumball(pts)
+        d = np.linalg.norm(pts - b.center, axis=1)
+        assert np.allclose(d, b.radius)
+
+    def test_3d_tetrahedron_boundary(self, rng):
+        pts = rng.normal(size=(4, 3))
+        b = circumball(pts)
+        d = np.linalg.norm(pts - b.center, axis=1)
+        assert np.allclose(d, b.radius, rtol=1e-8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            circumball(np.empty((0, 2)))
+
+
+class TestBallOfSupport:
+    def test_tiny_sets_exact(self, rng):
+        for _ in range(20):
+            pts = rng.normal(size=(int(rng.integers(1, 8)), 3))
+            b = ball_of_support(pts)
+            assert b.contains_all(pts, tol=1e-9)
+
+    def test_duplicates_collapse(self):
+        pts = np.vstack([np.ones((5, 2)), np.zeros((1, 2))])
+        b = ball_of_support(pts)
+        assert b.radius == pytest.approx(np.sqrt(2) / 2)
+
+
+class TestAllAlgorithmsAgree:
+    @pytest.mark.parametrize("fn", ALL_SEB)
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_radius_matches_reference(self, fn, d, rng):
+        pts = rng.normal(size=(500, d))
+        ref = welzl_mtf(pts, seed=42).radius
+        got = fn(pts).radius
+        assert got == pytest.approx(ref, rel=1e-7)
+
+    @pytest.mark.parametrize("fn", ALL_SEB)
+    def test_contains_all_points(self, fn, rng):
+        pts = rng.normal(size=(300, 3))
+        b = fn(pts)
+        assert b.contains_all(pts, tol=1e-8)
+
+    def test_sampling_agrees(self, rng):
+        pts = rng.normal(size=(2000, 3))
+        ref = welzl_mtf_pivot(pts).radius
+        b, stats = sampling_seb(pts)
+        assert b.radius == pytest.approx(ref, rel=1e-7)
+        assert stats.points_sampled > 0
+
+    @pytest.mark.parametrize(
+        "make", [uniform, in_sphere, on_sphere], ids=["U", "IS", "OS"]
+    )
+    def test_on_paper_datasets(self, make, rng):
+        pts = make(5000, 3, seed=13).coords
+        ref = welzl_mtf_pivot(pts).radius
+        for fn in (orthant_scan_seb, parallel_welzl):
+            assert fn(pts).radius == pytest.approx(ref, rel=1e-7)
+        assert sampling_seb(pts)[0].radius == pytest.approx(ref, rel=1e-7)
+
+
+class TestMinimality:
+    def test_support_points_on_boundary(self, rng):
+        pts = rng.normal(size=(400, 2))
+        b = welzl_mtf(pts)
+        d = np.linalg.norm(b.support - b.center, axis=1)
+        assert np.allclose(d, b.radius, rtol=1e-6)
+
+    def test_shrinking_radius_excludes_a_point(self, rng):
+        """The ball is tight: radius*(1-1e-6) misses some point."""
+        pts = rng.normal(size=(400, 3))
+        b = welzl_mtf(pts)
+        d = np.linalg.norm(pts - b.center, axis=1)
+        assert d.max() >= b.radius * (1 - 1e-9)
+
+    def test_known_answer_square(self):
+        pts = np.array([[0.0, 0], [1, 0], [0, 1], [1, 1]])
+        for fn in ALL_SEB:
+            b = fn(pts)
+            assert b.radius == pytest.approx(np.sqrt(0.5), rel=1e-9)
+            assert np.allclose(b.center, [0.5, 0.5], atol=1e-9)
+
+
+class TestOrthantScan:
+    def test_scan_finds_outliers(self, rng):
+        pts = rng.normal(size=(1000, 3))
+        tight = Ball(np.zeros(3), 0.1)
+        has_out, extremes = orthant_scan_once(pts, tight)
+        assert has_out and len(extremes) >= 1
+
+    def test_scan_clean_when_enclosing(self, rng):
+        pts = rng.normal(size=(1000, 3))
+        big = Ball(np.zeros(3), 100.0)
+        has_out, extremes = orthant_scan_once(pts, big)
+        assert not has_out and len(extremes) == 0
+
+    def test_extremes_one_per_orthant(self, rng):
+        pts = rng.normal(size=(5000, 2))
+        has_out, extremes = orthant_scan_once(pts, Ball(np.zeros(2), 0.01))
+        assert len(extremes) <= 4  # 2^d orthants
+
+
+class TestSamplingPhase:
+    def test_scans_only_fraction_on_easy_data(self):
+        """InSphere data: a small sample pins the ball; the sampling
+        phase should stop well before the whole input (paper: ~5%)."""
+        pts = in_sphere(40_000, 3, seed=3).coords
+        _, stats = sampling_seb(pts, chunk=1024)
+        assert stats.fraction_sampled < 0.5
+
+    def test_edge_cases(self):
+        with pytest.raises(ValueError):
+            sampling_seb(np.empty((0, 2)))
+        b, _ = sampling_seb(np.array([[1.0, 1.0]]))
+        assert b.radius == 0
+
+    def test_api_dispatcher(self, rng):
+        pts = rng.normal(size=(200, 2))
+        ref = welzl_mtf(pts).radius
+        for m in ("sampling", "orthant", "welzl", "welzl_mtf", "welzl_mtf_pivot", "parallel_welzl"):
+            assert smallest_enclosing_ball(pts, method=m).radius == pytest.approx(ref, rel=1e-7)
+        with pytest.raises(ValueError):
+            smallest_enclosing_ball(pts, method="magic")

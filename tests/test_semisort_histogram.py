@@ -1,0 +1,107 @@
+"""Tests for semisort/group-by and histogram primitives."""
+
+import numpy as np
+import pytest
+
+from repro.parlay import (
+    count_sort_by_bucket,
+    group_by,
+    histogram,
+    reduce_by_key,
+    semisort_indices,
+)
+
+
+class TestSemisort:
+    def test_groups_are_contiguous_and_complete(self, rng):
+        keys = rng.integers(0, 20, size=1000)
+        order, offsets, gkeys = semisort_indices(keys)
+        assert np.array_equal(np.sort(order), np.arange(1000))
+        for g in range(len(gkeys)):
+            seg = keys[order[offsets[g] : offsets[g + 1]]]
+            assert np.all(seg == gkeys[g])
+        assert offsets[-1] == 1000
+
+    def test_stable_within_group(self):
+        keys = np.array([1, 0, 1, 0, 1])
+        order, offsets, gkeys = semisort_indices(keys)
+        zeros = order[offsets[0] : offsets[1]]
+        assert np.array_equal(zeros, [1, 3])
+
+    def test_empty(self):
+        order, offsets, gkeys = semisort_indices(np.empty(0, dtype=int))
+        assert len(order) == 0 and len(gkeys) == 0
+
+    def test_single_group(self):
+        order, offsets, gkeys = semisort_indices(np.full(10, 7))
+        assert len(gkeys) == 1 and offsets.tolist() == [0, 10]
+
+    def test_float_keys(self, rng):
+        keys = rng.choice([0.5, 1.5, 2.5], size=100)
+        _, _, gkeys = semisort_indices(keys)
+        assert set(gkeys.tolist()) <= {0.5, 1.5, 2.5}
+
+
+class TestGroupBy:
+    def test_values_grouping(self):
+        keys = np.array([2, 1, 2, 1])
+        vals = np.array([10.0, 20.0, 30.0, 40.0])
+        g = group_by(keys, vals)
+        assert np.array_equal(g[1], [20.0, 40.0])
+        assert np.array_equal(g[2], [10.0, 30.0])
+
+    def test_indices_default(self):
+        g = group_by(np.array([5, 5, 6]))
+        assert np.array_equal(g[5], [0, 1])
+        assert np.array_equal(g[6], [2])
+
+
+class TestReduceByKey:
+    def test_add(self):
+        k, v = reduce_by_key(np.array([0, 1, 0, 1, 2]), np.array([1.0, 2, 3, 4, 5]))
+        assert np.array_equal(k, [0, 1, 2])
+        assert np.array_equal(v, [4.0, 6.0, 5.0])
+
+    def test_min_max(self):
+        keys = np.array([0, 0, 1, 1])
+        vals = np.array([3.0, 1.0, 7.0, 9.0])
+        _, vmin = reduce_by_key(keys, vals, "min")
+        _, vmax = reduce_by_key(keys, vals, "max")
+        assert vmin.tolist() == [1.0, 7.0]
+        assert vmax.tolist() == [3.0, 9.0]
+
+    def test_matches_bincount(self, rng):
+        keys = rng.integers(0, 50, size=2000)
+        vals = rng.normal(size=2000)
+        k, v = reduce_by_key(keys, vals)
+        ref = np.bincount(keys, weights=vals, minlength=50)
+        for kk, vv in zip(k, v):
+            assert vv == pytest.approx(ref[kk], rel=1e-9, abs=1e-12)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            reduce_by_key(np.arange(3), np.arange(4))
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            reduce_by_key(np.arange(3), np.arange(3), "mul")
+
+
+class TestHistogram:
+    def test_counts(self, rng):
+        keys = rng.integers(0, 10, size=5000)
+        h = histogram(keys, 10)
+        assert np.array_equal(h, np.bincount(keys, minlength=10))
+        assert h.sum() == 5000
+
+    def test_empty_buckets(self):
+        h = histogram(np.array([0, 0, 5]), 8)
+        assert h[0] == 2 and h[5] == 1 and h[1:5].sum() == 0
+
+    def test_count_sort(self, rng):
+        keys = rng.integers(0, 6, size=300)
+        order, offsets = count_sort_by_bucket(keys, 6)
+        sk = keys[order]
+        assert np.all(np.diff(sk) >= 0)
+        for b in range(6):
+            assert offsets[b + 1] - offsets[b] == (keys == b).sum()

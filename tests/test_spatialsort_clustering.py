@@ -1,0 +1,160 @@
+"""Tests for Morton sorting, the Zd-tree, and clustering."""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.clustering import Dendrogram, core_distances, dbscan, hdbscan, mutual_reachability_mst
+from repro.generators import uniform, visual_var
+from repro.spatialsort import ZdTree, morton_argsort, morton_codes, morton_sort
+
+
+class TestMorton:
+    def test_codes_shape_and_determinism(self, rng):
+        pts = rng.uniform(0, 10, size=(100, 3))
+        c1 = morton_codes(pts)
+        c2 = morton_codes(pts)
+        assert c1.dtype == np.uint64 and np.array_equal(c1, c2)
+
+    def test_locality(self):
+        """Z-order neighbors are spatially close on average."""
+        pts = uniform(4000, 2, seed=3).coords
+        srt = morton_sort(pts)
+        gaps = np.linalg.norm(np.diff(srt, axis=0), axis=1)
+        base = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        assert gaps.mean() < 0.3 * base.mean()
+
+    def test_quadrant_ordering_2d(self):
+        """In 2D, all points of the lower-left quadrant sort before the
+        upper-right quadrant."""
+        ll = np.random.default_rng(0).uniform(0, 0.4, size=(50, 2))
+        ur = np.random.default_rng(1).uniform(0.6, 1.0, size=(50, 2))
+        pts = np.vstack([ur, ll])
+        order = morton_argsort(pts)
+        # all lower-left (indices >= 50) come first
+        assert set(order[:50].tolist()) == set(range(50, 100))
+
+    def test_bits_bound(self, rng):
+        with pytest.raises(ValueError):
+            morton_codes(rng.normal(size=(5, 4)), bits=20)
+
+    def test_empty(self):
+        assert len(morton_codes(np.empty((0, 2)))) == 0
+
+
+class TestZdTree:
+    def test_knn_matches_scipy(self, rng):
+        pts = rng.uniform(0, 10, size=(3000, 3))
+        z = ZdTree(3)
+        z.insert(pts)
+        d, i = z.knn(pts[:80], 6)
+        dd, _ = cKDTree(pts).query(pts[:80], k=6)
+        assert np.allclose(np.sqrt(d), dd)
+
+    def test_batch_updates(self, rng):
+        pts = rng.uniform(0, 10, size=(1000, 2))
+        z = ZdTree(2)
+        for b in range(10):
+            z.insert(pts[b * 100 : (b + 1) * 100])
+        assert z.size() == 1000
+        assert z.erase(pts[:300]) == 300
+        d, i = z.knn(pts[:20], 3)
+        dd, _ = cKDTree(pts[300:]).query(pts[:20], k=3)
+        assert np.allclose(np.sqrt(d), dd)
+
+    def test_codes_stay_sorted(self, rng):
+        z = ZdTree(2)
+        for _ in range(5):
+            z.insert(rng.uniform(0, 10, size=(200, 2)))
+            assert np.all(z.codes[:-1] <= z.codes[1:])
+
+    def test_rejects_high_dim(self):
+        with pytest.raises(ValueError):
+            ZdTree(9)
+
+    def test_fixed_frame_handles_outliers(self, rng):
+        """Points outside the initial frame are clamped but must still
+        be findable (exactness preserved by brute leaf check)."""
+        z = ZdTree(2, bounds_lo=[0, 0], bounds_hi=[1, 1])
+        pts = rng.uniform(0, 1, size=(300, 2))
+        z.insert(pts)
+        far = np.array([[5.0, 5.0]])
+        z.insert(far)
+        d, i = z.knn(far, 1)
+        assert d[0, 0] == 0
+
+
+class TestDBSCAN:
+    def test_two_blobs(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(100, 2)) * 0.2
+        b = rng.normal(size=(100, 2)) * 0.2 + 10
+        labels = dbscan(np.vstack([a, b]), eps=1.0, min_pts=5)
+        assert len(set(labels[:100].tolist())) == 1
+        assert len(set(labels[100:].tolist())) == 1
+        assert labels[0] != labels[150]
+        assert -1 not in labels
+
+    def test_noise_detection(self):
+        rng = np.random.default_rng(1)
+        blob = rng.normal(size=(80, 2)) * 0.1
+        noise = np.array([[50.0, 50.0], [-40.0, 30.0]])
+        labels = dbscan(np.vstack([blob, noise]), eps=1.0, min_pts=4)
+        assert labels[80] == -1 and labels[81] == -1
+        assert labels[0] >= 0
+
+    def test_matches_reference_semantics(self, rng):
+        """Cross-check core points against direct counting."""
+        pts = rng.uniform(0, 5, size=(200, 2))
+        eps, mp = 0.6, 6
+        labels = dbscan(pts, eps, mp)
+        d = np.linalg.norm(pts[:, None] - pts[None], axis=2)
+        core = (d <= eps).sum(axis=1) >= mp
+        # all core points clustered, never noise
+        assert np.all(labels[core] >= 0)
+
+    def test_empty(self):
+        assert len(dbscan(np.empty((0, 2)), 1.0, 3)) == 0
+
+
+class TestHDBSCAN:
+    def test_core_distances(self, rng):
+        pts = rng.normal(size=(200, 2))
+        cd = core_distances(pts, 4)
+        dd, _ = cKDTree(pts).query(pts, k=5)
+        assert np.allclose(cd, dd[:, 4])
+
+    def test_mst_spans(self, rng):
+        pts = rng.normal(size=(150, 3))
+        edges, w = mutual_reachability_mst(pts, 3)
+        assert len(edges) == 149
+        from repro.emst import UnionFind
+
+        uf = UnionFind(150)
+        for u, v in edges:
+            assert uf.union(int(u), int(v))
+
+    def test_dendrogram_cut_separates_blobs(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(60, 2)) * 0.3
+        b = rng.normal(size=(60, 2)) * 0.3 + 20
+        dend = hdbscan(np.vstack([a, b]), min_pts=4)
+        labels = dend.cut(5.0)
+        assert len(np.unique(labels)) == 2
+        assert len(np.unique(labels[:60])) == 1
+
+    def test_cut_heights_monotone(self, rng):
+        pts = visual_var(300, 2, seed=5).coords
+        dend = hdbscan(pts, min_pts=4)
+        n_low = dend.n_clusters_at(0.01)
+        n_high = dend.n_clusters_at(1e9)
+        assert n_low >= n_high
+        assert n_high == 1
+
+    def test_mr_mst_reduces_to_emst_at_minpts1(self, rng):
+        from repro.emst import emst
+
+        pts = rng.uniform(0, 10, size=(120, 2))
+        _, w1 = mutual_reachability_mst(pts, 1)
+        _, w2 = emst(pts)
+        assert w1.sum() == pytest.approx(w2.sum(), rel=1e-9)

@@ -1,0 +1,83 @@
+"""Tests for the work-depth cost model (the speedup simulator)."""
+
+import pytest
+
+from repro.parlay.workdepth import (
+    Cost,
+    charge,
+    frame,
+    parallel_merge,
+    simulated_speedup,
+    simulated_time,
+    tracker,
+)
+
+
+class TestCost:
+    def test_serial_add(self):
+        c = Cost(10, 2)
+        c.add_serial(Cost(5, 3))
+        assert c.work == 15 and c.depth == 5
+
+    def test_copy_is_independent(self):
+        a = Cost(1, 1)
+        b = a.copy()
+        b.work = 99
+        assert a.work == 1
+
+
+class TestTracker:
+    def test_charge_default_depth_is_log(self):
+        tracker.reset()
+        charge(1024)
+        assert tracker.total().depth == pytest.approx(10.0)
+
+    def test_reset_returns_old(self):
+        tracker.reset()
+        charge(5, 1)
+        old = tracker.reset()
+        assert old.work == 5
+        assert tracker.total().work == 0
+
+    def test_frame_isolates_cost(self):
+        tracker.reset()
+        with frame() as c:
+            charge(100, 7)
+        assert c.work == 100 and c.depth == 7
+        # not merged automatically
+        assert tracker.total().work == 0
+
+    def test_parallel_merge_sums_work_maxes_depth(self):
+        tracker.reset()
+        children = [Cost(100, 5), Cost(200, 9), Cost(50, 2)]
+        parallel_merge(children)
+        t = tracker.total()
+        assert t.work >= 350
+        assert 9 <= t.depth <= 12  # max + log fanout
+
+    def test_parallel_merge_empty_noop(self):
+        tracker.reset()
+        parallel_merge([])
+        assert tracker.total().work == 0
+
+
+class TestBrent:
+    def test_one_worker_is_work_plus_depth(self):
+        c = Cost(1000, 10)
+        assert simulated_time(c, 1) == 1010
+
+    def test_more_workers_never_slower(self):
+        c = Cost(100_000, 50)
+        times = [simulated_time(c, p) for p in (1, 2, 4, 8, 16, 36)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_speedup_bounded_by_workers(self):
+        c = Cost(1_000_000, 1)
+        s = simulated_speedup(c, 36)
+        assert 1.0 < s <= 36.5
+
+    def test_depth_bound_limits_speedup(self):
+        """A deep, narrow computation cannot scale (Brent)."""
+        shallow = Cost(work=1e6, depth=20)
+        deep = Cost(work=1e6, depth=1e5)
+        assert simulated_speedup(shallow, 36) > 5 * simulated_speedup(deep, 36)
