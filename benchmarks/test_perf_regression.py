@@ -1,0 +1,80 @@
+"""Query-engine performance regression gate.
+
+Measures the batched (vectorized frontier) k-NN engine against the
+recursive per-query walk on the headline workload — 50k-point self-kNN
+with k=10 in 2D and 7D — and records the wall-clock ratio into
+``BENCH_knn.json`` at the repo root.  The two engines must return
+bitwise-identical neighbors and charge identical work/depth; at full
+scale (``REPRO_BENCH_SCALE >= 1``) the batched engine must also be at
+least 5x faster, which is the point of having it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import bench_scale, measure_engines
+from repro.kdtree import KDTree, knn
+
+from conftest import data, run_once
+
+N = bench_scale(50_000)
+K = 10
+FULL_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0")) >= 1.0
+MIN_RATIO = 5.0
+
+_records: dict[str, dict] = {}
+
+
+def _bench(benchmark, ds_name: str):
+    pts = data(f"{ds_name}-{N}")
+    tree = KDTree(pts)
+    cmp = measure_engines(f"knn {ds_name} n={N} k={K}", knn, tree, pts, K,
+                          exclude_self=True)
+    db, ib = cmp.batched.result
+    dr, ir = cmp.recursive.result
+    assert np.array_equal(ib, ir), "engines returned different neighbors"
+    assert np.array_equal(db, dr), "engines returned different distances"
+    assert cmp.charges_match(), (
+        f"work/depth charges diverge: batched {cmp.batched.cost} "
+        f"vs recursive {cmp.recursive.cost}"
+    )
+    _records[ds_name] = {
+        "n": N,
+        "k": K,
+        "t1_batched": cmp.batched.t1,
+        "t1_recursive": cmp.recursive.t1,
+        "ratio": cmp.ratio,
+        "work": cmp.batched.cost.work,
+        "depth": cmp.batched.cost.depth,
+    }
+    print("\n" + cmp.summary())
+    if FULL_SCALE:
+        assert cmp.ratio >= MIN_RATIO, (
+            f"batched engine only {cmp.ratio:.2f}x faster on {ds_name} "
+            f"(regression gate requires >= {MIN_RATIO}x at full scale)"
+        )
+    run_once(benchmark, lambda: None)
+
+
+def test_knn_2d_engine_ratio(benchmark):
+    _bench(benchmark, "2D-U")
+
+
+def test_knn_7d_engine_ratio(benchmark):
+    _bench(benchmark, "7D-U")
+
+
+def teardown_module(module):
+    if not _records:
+        return
+    out = Path(__file__).resolve().parent.parent / "BENCH_knn.json"
+    payload = {
+        "benchmark": "self-kNN, batched vs recursive query engine",
+        "scale": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+        "datasets": _records,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out}")

@@ -235,12 +235,24 @@ class BDLTree:
     # ------------------------------------------------------------------
     # data-parallel k-NN (paper App. C.4)
     # ------------------------------------------------------------------
-    def knn(self, queries, k: int, exclude_self: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    def knn(
+        self,
+        queries,
+        k: int,
+        exclude_self: bool = False,
+        engine: str | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """k nearest neighbors of each query across all trees.
 
         Returns (squared distances, global ids), each (m, k) sorted by
-        distance per row.
+        distance per row.  ``engine`` selects the per-tree search
+        strategy (vectorized "batched" frontier vs per-query
+        "recursive" walk); results and charges are identical.
         """
+        from ..kdtree.batch import resolve_engine
+
+        if resolve_engine(engine) == "batched":
+            return self._knn_batched(queries, k, exclude_self)
         qs = as_array(queries)
         m = len(qs)
         kk = k + 1 if exclude_self else k
@@ -265,6 +277,38 @@ class BDLTree:
         from ..kdtree.knn import extract_knn_results
 
         return extract_knn_results(buffers, k, exclude_self)
+
+    def _knn_batched(self, queries, k: int, exclude_self: bool) -> tuple[np.ndarray, np.ndarray]:
+        """Array-at-a-time k-NN: one batch buffer set shared across the
+        log-structure's trees, then a vectorized buffer-tree scan."""
+        from ..kdtree.batch import BatchKNNBuffers, batched_knn_into
+
+        qs = as_array(queries)
+        m = len(qs)
+        kk = k + 1 if exclude_self else k
+        buf = BatchKNNBuffers(m, kk)
+
+        for t in self.trees:
+            if t is not None and t.size() > 0:
+                batched_knn_into(t, qs, buf)
+
+        nb = len(self.buf_pts)
+        if nb:
+            charge(m * nb)
+            rows = np.arange(m, dtype=np.int64)
+            lens = np.full(m, nb, dtype=np.int64)
+            # chunk the (m, nb) cross-distance matrix to bound memory
+            step = max(1, (1 << 22) // max(nb, 1))
+            for lo in range(0, m, step):
+                hi = min(lo + step, m)
+                diff = self.buf_pts[None, :, :] - qs[lo:hi, None, :]
+                d2 = np.einsum("ijk,ijk->ij", diff, diff).ravel()
+                g = np.tile(self.buf_gids, hi - lo)
+                buf.insert_grouped(rows[lo:hi], d2, g, lens[lo:hi])
+            # the recursive path charges each query's insert serially
+            buf.flush_serial()
+
+        return buf.extract(k, exclude_self)
 
     # ------------------------------------------------------------------
     # range search across the log-structure

@@ -1,5 +1,21 @@
 """``repro.bench`` — timing + simulated-speedup benchmark harness."""
 
-from .harness import Measurement, PAPER_CORES, Table, bench_scale, measure
+from .harness import (
+    EngineComparison,
+    Measurement,
+    PAPER_CORES,
+    Table,
+    bench_scale,
+    measure,
+    measure_engines,
+)
 
-__all__ = ["Measurement", "PAPER_CORES", "Table", "bench_scale", "measure"]
+__all__ = [
+    "EngineComparison",
+    "Measurement",
+    "PAPER_CORES",
+    "Table",
+    "bench_scale",
+    "measure",
+    "measure_engines",
+]

@@ -22,7 +22,15 @@ from ..parlay.workdepth import (
     tracker,
 )
 
-__all__ = ["Measurement", "measure", "Table", "bench_scale", "PAPER_CORES"]
+__all__ = [
+    "EngineComparison",
+    "Measurement",
+    "measure",
+    "measure_engines",
+    "Table",
+    "bench_scale",
+    "PAPER_CORES",
+]
 
 #: the paper's machine: 36 cores, 2-way hyper-threading
 PAPER_CORES = 36 * HYPERTHREAD_FACTOR
@@ -67,6 +75,50 @@ def measure(name: str, fn, *args, repeat: int = 1, **kwargs) -> Measurement:
             cost = tracker.total()
     tracker.reset()
     return Measurement(name, best_t, cost, result)
+
+
+@dataclass
+class EngineComparison:
+    """Wall-clock comparison of one query workload across engines."""
+
+    name: str
+    batched: Measurement
+    recursive: Measurement
+
+    @property
+    def ratio(self) -> float:
+        """How many times faster the batched engine ran (wall-clock)."""
+        if self.batched.t1 <= 0:
+            return float("inf")
+        return self.recursive.t1 / self.batched.t1
+
+    def charges_match(self, rtol: float = 1e-9) -> bool:
+        cb, cr = self.batched.cost, self.recursive.cost
+        return (
+            abs(cb.work - cr.work) <= rtol * max(cr.work, 1.0)
+            and abs(cb.depth - cr.depth) <= rtol * max(cr.depth, 1.0)
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: batched {self.batched.t1:.4g}s vs recursive "
+            f"{self.recursive.t1:.4g}s ({self.ratio:.2f}x), "
+            f"charges {'match' if self.charges_match() else 'DIFFER'}"
+        )
+
+
+def measure_engines(name: str, fn, *args, repeat: int = 1, **kwargs) -> EngineComparison:
+    """Run ``fn(engine=...)`` under both query engines and compare.
+
+    ``fn`` must accept an ``engine`` keyword (e.g. ``knn``,
+    ``range_query_batch``, ``BDLTree.knn``).  Returns the two
+    measurements plus the wall-clock ratio; the work/depth charges of
+    the two runs should agree (``charges_match``) since the engines are
+    cost-equivalent by construction.
+    """
+    batched = measure(f"{name}[batched]", fn, *args, repeat=repeat, engine="batched", **kwargs)
+    recursive = measure(f"{name}[recursive]", fn, *args, repeat=repeat, engine="recursive", **kwargs)
+    return EngineComparison(name, batched, recursive)
 
 
 class Table:

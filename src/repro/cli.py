@@ -68,9 +68,9 @@ def cmd_knn(args) -> int:
     pts = _load(args.input)
     t0 = time.perf_counter()
     tree = KDTree(pts, split=args.split)
-    d, i = tree.knn(pts.coords, args.k, exclude_self=True)
+    d, i = tree.knn(pts.coords, args.k, exclude_self=True, engine=args.engine)
     dt = time.perf_counter() - t0
-    print(f"k-NN (k={args.k}) over {len(pts)} points in {dt:.3f}s")
+    print(f"k-NN (k={args.k}) over {len(pts)} points in {dt:.3f}s ({args.engine} engine)")
     if args.output:
         np.savetxt(args.output, i, fmt="%d", delimiter=",")
     return 0
@@ -161,6 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("input")
     k.add_argument("-k", type=int, default=5)
     k.add_argument("--split", default="object", choices=["object", "spatial"])
+    k.add_argument("--engine", default="batched", choices=["batched", "recursive"],
+                   help="query execution engine (vectorized batch vs per-query walk)")
     k.add_argument("-o", "--output")
     k.set_defaults(fn=cmd_knn)
 

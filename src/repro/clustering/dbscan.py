@@ -13,33 +13,23 @@ import numpy as np
 
 from ..core.points import as_array
 from ..emst.unionfind import UnionFind
-from ..kdtree.range_search import range_query_ball
+from ..kdtree.range_search import range_query_ball_batch
 from ..kdtree.tree import KDTree
-from ..parlay.scheduler import get_scheduler
-from ..parlay.primitives import query_blocks
 from ..parlay.workdepth import charge
 
 __all__ = ["dbscan"]
 
 
-def dbscan(points, eps: float, min_pts: int) -> np.ndarray:
+def dbscan(points, eps: float, min_pts: int, engine: str | None = None) -> np.ndarray:
     """Cluster labels per point (noise = -1), deterministic."""
     pts = as_array(points)
     n = len(pts)
     if n == 0:
         return np.empty(0, dtype=np.int64)
     tree = KDTree(pts)
-    sched = get_scheduler()
 
-    neighborhoods: list[np.ndarray | None] = [None] * n
-    blocks = query_blocks(n, grain=64)
-
-    def scan_block(b: int) -> None:
-        lo, hi = blocks[b]
-        for i in range(lo, hi):
-            neighborhoods[i] = range_query_ball(tree, pts[i], eps)
-
-    sched.parallel_for(len(blocks), scan_block)
+    # every point's eps-neighborhood in one data-parallel batch
+    neighborhoods = range_query_ball_batch(tree, pts, eps, grain=64, engine=engine)
     core = np.array([len(nb) >= min_pts for nb in neighborhoods])
 
     uf = UnionFind(n)

@@ -19,7 +19,7 @@ from ..core.points import as_array
 from ..delaunay.triangulation import delaunay
 from ..emst.emst import emst
 from ..kdtree.tree import KDTree
-from ..kdtree.range_search import range_query_ball
+from ..kdtree.range_search import range_query_ball, range_query_ball_batch
 from ..parlay.scheduler import get_scheduler
 from ..parlay.primitives import query_blocks
 from ..parlay.workdepth import charge
@@ -59,32 +59,28 @@ def delaunay_graph(points) -> Graph:
     return Graph(len(pts), e, w)
 
 
-def gabriel_graph(points) -> Graph:
+def gabriel_graph(points, engine: str | None = None) -> Graph:
     """Gabriel graph: edges (u,v) whose disk with diameter uv is empty.
 
     Computed by filtering the Delaunay edges (Gabriel ⊆ Delaunay) with a
-    kd-tree ball query around each edge midpoint.
+    kd-tree ball query around each edge midpoint — all edges queried as
+    one data-parallel batch with per-edge radii.
     """
     pts = as_array(points)
     n = len(pts)
     dt = delaunay(pts)
     e = dt.edges()
     tree = KDTree(pts)
+    mids = 0.5 * (pts[e[:, 0]] + pts[e[:, 1]])
+    radii = 0.5 * np.linalg.norm(pts[e[:, 0]] - pts[e[:, 1]], axis=1)
+    balls = range_query_ball_batch(
+        tree, mids, radii * (1 - 1e-12), grain=64, engine=engine
+    )
     keep = np.zeros(len(e), dtype=bool)
-    sched = get_scheduler()
-    blocks = query_blocks(len(e), grain=64)
-
-    def run_block(b: int) -> None:
-        lo, hi = blocks[b]
-        for i in range(lo, hi):
-            u, v = e[i]
-            mid = 0.5 * (pts[u] + pts[v])
-            r = 0.5 * np.linalg.norm(pts[u] - pts[v])
-            inside = range_query_ball(tree, mid, r * (1 - 1e-12))
-            inside = inside[(inside != u) & (inside != v)]
-            keep[i] = len(inside) == 0
-
-    sched.parallel_for(len(blocks), run_block)
+    for i, inside in enumerate(balls):
+        u, v = e[i]
+        inside = inside[(inside != u) & (inside != v)]
+        keep[i] = len(inside) == 0
     e = e[keep]
     w = np.linalg.norm(pts[e[:, 0]] - pts[e[:, 1]], axis=1)
     return Graph(n, e, w)

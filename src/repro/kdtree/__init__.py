@@ -5,6 +5,14 @@ Module (1) of ParGeo: construction (Alg. 1), data-parallel k-NN
 """
 
 from .allnn import all_nearest_neighbors
+from .batch import (
+    BatchKNNBuffers,
+    batched_knn,
+    batched_knn_into,
+    default_engine,
+    resolve_engine,
+    set_default_engine,
+)
 from .delete import erase
 from .knn import extract_knn_results, knn, knn_into, knn_single
 from .knnbuffer import KNNBuffer
@@ -18,12 +26,18 @@ from .range_search import (
 from .tree import KDTree, OBJECT_MEDIAN, SPATIAL_MEDIAN, hyperceiling
 
 __all__ = [
+    "BatchKNNBuffers",
     "KDTree",
     "KNNBuffer",
     "OBJECT_MEDIAN",
     "all_nearest_neighbors",
     "SPATIAL_MEDIAN",
+    "batched_knn",
+    "batched_knn_into",
+    "default_engine",
     "erase",
+    "resolve_engine",
+    "set_default_engine",
     "extract_knn_results",
     "hyperceiling",
     "knn",

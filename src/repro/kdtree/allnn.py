@@ -21,16 +21,29 @@ __all__ = ["all_nearest_neighbors"]
 _BRUTE = 1024
 
 
-def all_nearest_neighbors(points) -> tuple[np.ndarray, np.ndarray]:
+def all_nearest_neighbors(points, engine: str | None = None) -> tuple[np.ndarray, np.ndarray]:
     """Nearest neighbor of every point (excluding itself).
 
     Returns (dists, ids): Euclidean distance and index of each point's
     nearest other point.
+
+    ``engine="batched"`` (default) runs the whole point set as one
+    vectorized 1-NN batch over the frontier engine, banning each
+    query's own id so duplicates still pair up with each other;
+    ``engine="recursive"`` uses the classic dual-tree traversal.
     """
+    from .batch import BatchKNNBuffers, batched_knn_into, resolve_engine
+
     pts = as_array(points)
     n = len(pts)
     if n < 2:
         raise ValueError("need at least 2 points")
+    if resolve_engine(engine) == "batched":
+        tree = KDTree(pts, leaf_size=16)
+        buf = BatchKNNBuffers(n, 1)
+        batched_knn_into(tree, pts, buf, ban=np.arange(n, dtype=np.int64))
+        d, i = buf.extract(1, exclude_self=False)
+        return np.sqrt(d[:, 0]), i[:, 0]
     tree = KDTree(pts, leaf_size=16)
     best_d = np.full(n, np.inf)
     best_i = np.full(n, -1, dtype=np.int64)

@@ -58,11 +58,13 @@ def _search(tree: KDTree, idx: int, q: np.ndarray, buf: KNNBuffer) -> None:
         return
     lo, hi = tree.box_lo[second], tree.box_hi[second]
     gap = np.maximum(lo - q, 0.0) + np.maximum(q - hi, 0.0)
-    dist2 = float(gap @ gap)
+    # einsum, not dot: the batched engine reduces rows with einsum, and
+    # the two must round identically so tie-breaking pruning agrees
+    dist2 = float(np.einsum("i,i->", gap, gap))
     if dist2 >= buf.bound:
         return  # disjoint from the k-NN ball: prune
     far = np.maximum(np.abs(q - lo), np.abs(q - hi))
-    if float(far @ far) < buf.bound:
+    if float(np.einsum("i,i->", far, far)) < buf.bound:
         _ingest_subtree(tree, second, q, buf)  # wholly inside: take all
     else:
         _search(tree, second, q, buf)
@@ -101,7 +103,13 @@ def knn_into(tree: KDTree, queries, buffers: list[KNNBuffer], exclude_self: bool
     sched.parallel_for(len(blocks), run_block)
 
 
-def knn(tree: KDTree, queries, k: int, exclude_self: bool = False) -> tuple[np.ndarray, np.ndarray]:
+def knn(
+    tree: KDTree,
+    queries,
+    k: int,
+    exclude_self: bool = False,
+    engine: str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Data-parallel k-NN over a batch of query points.
 
     Returns ``(dists, ids)`` of shape (m, k): *squared* distances and
@@ -109,7 +117,16 @@ def knn(tree: KDTree, queries, k: int, exclude_self: bool = False) -> tuple[np.n
     query point itself (matched by id when the queries are the tree's
     own points, else by zero distance) is excluded; callers should then
     ask for ``k`` true neighbors.
+
+    ``engine`` selects the execution strategy: ``"batched"`` (default)
+    runs the whole batch through the vectorized frontier engine of
+    :mod:`repro.kdtree.batch`; ``"recursive"`` walks the tree once per
+    query.  Results and work/depth charges are identical.
     """
+    from .batch import batched_knn, resolve_engine
+
+    if resolve_engine(engine) == "batched":
+        return batched_knn(tree, queries, k, exclude_self)
     qs = as_array(queries)
     m = len(qs)
     kk = k + 1 if exclude_self else k

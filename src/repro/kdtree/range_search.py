@@ -59,10 +59,11 @@ def _collect_ball(tree: KDTree, idx: int, c: np.ndarray, r2: float, out: list) -
     charge(2 * tree.dim + 4, 1)  # per-node box arithmetic
     nlo, nhi = tree.box_lo[idx], tree.box_hi[idx]
     gap = np.maximum(nlo - c, 0.0) + np.maximum(c - nhi, 0.0)
-    if float(gap @ gap) > r2:
+    # einsum matches the batched engine's row reduction bit-for-bit
+    if float(np.einsum("i,i->", gap, gap)) > r2:
         return  # disjoint
     far = np.maximum(np.abs(c - nlo), np.abs(c - nhi))
-    if float(far @ far) <= r2:
+    if float(np.einsum("i,i->", far, far)) <= r2:
         out.append(tree.node_points(idx))  # contained
         return
     if tree.is_leaf[idx]:
@@ -88,12 +89,22 @@ def range_query_ball(tree: KDTree, center, radius: float) -> np.ndarray:
     return np.concatenate(out)
 
 
-def range_query_batch(tree: KDTree, los, his) -> list[np.ndarray]:
+def range_query_batch(
+    tree: KDTree, los, his, grain: int = 16, engine: str | None = None
+) -> list[np.ndarray]:
     """Data-parallel batch of box queries (one result list per box).
 
     Queries run in blocks across the scheduler — the paper's range
-    search benchmark shape (parallel across queries).
+    search benchmark shape (parallel across queries).  ``engine``
+    selects between the vectorized frontier traversal ("batched",
+    default) and the per-query recursion ("recursive"); results and
+    charges are identical.
     """
+    from .batch import batched_range_query_batch, resolve_engine
+
+    if resolve_engine(engine) == "batched":
+        return batched_range_query_batch(tree, los, his, grain=grain)
+
     from ..parlay.scheduler import get_scheduler
     from ..parlay.primitives import query_blocks
 
@@ -102,7 +113,7 @@ def range_query_batch(tree: KDTree, los, his) -> list[np.ndarray]:
     m = len(los)
     results: list = [None] * m
     sched = get_scheduler()
-    blocks = query_blocks(m, grain=16)
+    blocks = query_blocks(m, grain=grain)
 
     def run_block(b: int) -> None:
         lo_i, hi_i = blocks[b]
@@ -113,8 +124,15 @@ def range_query_batch(tree: KDTree, los, his) -> list[np.ndarray]:
     return results
 
 
-def range_query_ball_batch(tree: KDTree, centers, radii) -> list[np.ndarray]:
-    """Data-parallel batch of ball queries."""
+def range_query_ball_batch(
+    tree: KDTree, centers, radii, grain: int = 16, engine: str | None = None
+) -> list[np.ndarray]:
+    """Data-parallel batch of ball queries (per-query radii allowed)."""
+    from .batch import batched_range_query_ball_batch, resolve_engine
+
+    if resolve_engine(engine) == "batched":
+        return batched_range_query_ball_batch(tree, centers, radii, grain=grain)
+
     from ..parlay.scheduler import get_scheduler
     from ..parlay.primitives import query_blocks
 
@@ -122,7 +140,7 @@ def range_query_ball_batch(tree: KDTree, centers, radii) -> list[np.ndarray]:
     radii = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(centers),))
     results: list = [None] * len(centers)
     sched = get_scheduler()
-    blocks = query_blocks(len(centers), grain=16)
+    blocks = query_blocks(len(centers), grain=grain)
 
     def run_block(b: int) -> None:
         lo_i, hi_i = blocks[b]

@@ -294,10 +294,10 @@ class KDTree:
 
     # -- queries are provided by the sibling modules and re-exported on the
     #    class for convenience --------------------------------------------
-    def knn(self, queries, k: int, exclude_self: bool = False):
+    def knn(self, queries, k: int, exclude_self: bool = False, engine: str | None = None):
         from .knn import knn as _knn
 
-        return _knn(self, queries, k, exclude_self=exclude_self)
+        return _knn(self, queries, k, exclude_self=exclude_self, engine=engine)
 
     def knn_into(self, queries, buffers, exclude_self: bool = False):
         from .knn import knn_into as _knn_into

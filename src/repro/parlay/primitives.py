@@ -110,14 +110,22 @@ def pack_index(mask: np.ndarray) -> np.ndarray:
     return np.flatnonzero(mask)
 
 
-def pflatten(seqs: Sequence[np.ndarray]) -> np.ndarray:
-    """Concatenate a sequence of arrays; W=total, D=log(#seqs)."""
+def pflatten(seqs: Sequence[np.ndarray], dtype=None) -> np.ndarray:
+    """Concatenate a sequence of arrays; W=total, D=log(#seqs).
+
+    ``dtype`` fixes the element type of the result; without it the
+    type is inferred from the inputs (and only an empty *input list*
+    falls back to float64, since there is nothing to infer from).
+    """
     if not seqs:
         charge(1, 1)
-        return np.empty(0)
+        return np.empty(0, dtype=np.float64 if dtype is None else dtype)
     total = sum(len(s) for s in seqs)
     charge(max(total, 1), _log2(len(seqs)) + _log2(max(total, 1)))
-    return np.concatenate(list(seqs))
+    out = np.concatenate(list(seqs))
+    if dtype is not None:
+        out = out.astype(dtype, copy=False)
+    return out
 
 
 def pcount(mask: np.ndarray) -> int:
@@ -149,13 +157,14 @@ def query_blocks(n: int, grain: int = 64) -> list[tuple[int, int]]:
     """Blocks for data-parallel query batches.
 
     Block count scales with n (grain-bounded), not with the local
-    worker count — a fork-join machine exposes min(n/grain, p·c)-way
-    parallelism, and the cost model should see all of it.
+    worker count: ``ceil(n / grain)`` blocks of ~``grain`` queries, so
+    a fork-join machine sees all n/grain-way parallelism of a large
+    batch while a small batch never splits finer than its grain
+    warrants (a 10-query batch is one block, not ``workers * 4``
+    single-query shards as the old worker-count floor produced).
     """
-    from .scheduler import get_scheduler
-
-    nblocks = max(get_scheduler().workers * 4, -(-n // max(grain, 1)))
-    return split_blocks(n, nblocks)
+    by_grain = -(-n // max(grain, 1))
+    return split_blocks(n, by_grain)
 
 
 def split_blocks(n: int, nblocks: int) -> list[tuple[int, int]]:

@@ -29,6 +29,7 @@ __all__ = [
     "CostTracker",
     "tracker",
     "charge",
+    "charge_blocked",
     "frame",
     "parallel_merge",
     "simulated_time",
@@ -159,6 +160,29 @@ def frame():
 
 def parallel_merge(children: list[Cost], fanout: int | None = None) -> None:
     tracker.merge_parallel(children, fanout)
+
+
+def charge_blocked(works, depths, blocks) -> None:
+    """Charge per-item (work, depth) pairs as a blocked parallel loop.
+
+    ``works``/``depths`` are per-item cost arrays; ``blocks`` is a list
+    of ``(lo, hi)`` index ranges (e.g. from ``query_blocks``).  The
+    composition is exactly what ``scheduler.parallel_for`` over those
+    blocks would record — each block is a serial run of its items, the
+    blocks are parallel siblings — so a batched (array-at-a-time)
+    execution that accumulates per-item costs can charge the same
+    fork-join structure as an item-at-a-time loop.
+    """
+    if not blocks:
+        return
+    costs = [
+        Cost(float(works[lo:hi].sum()), float(depths[lo:hi].sum()))
+        for lo, hi in blocks
+    ]
+    if len(costs) == 1:
+        tracker.merge_serial(costs[0])
+    else:
+        tracker.merge_parallel(costs, fanout=len(costs))
 
 
 def fork_costs(thunks) -> list:

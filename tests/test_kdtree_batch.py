@@ -1,0 +1,323 @@
+"""Batched (array-at-a-time) query engine vs the recursive path.
+
+The contract of ``repro.kdtree.batch`` is *exact* equivalence: for any
+tree (including ones with deleted points) and any query batch, the
+batched engine returns bitwise-identical results to the per-query
+recursion AND charges identical work/depth to the cost tracker — it is
+a wall-clock optimization only.  These tests enforce that contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bdl import BDLTree
+from repro.clustering import dbscan
+from repro.kdtree import (
+    BatchKNNBuffers,
+    KDTree,
+    KNNBuffer,
+    all_nearest_neighbors,
+    default_engine,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.kdtree.knn import knn
+from repro.kdtree.range_search import range_query_batch, range_query_ball_batch
+from repro.parlay import tracker
+
+
+def costed(fn, *args, **kwargs):
+    tracker.reset()
+    out = fn(*args, **kwargs)
+    cost = tracker.total()
+    tracker.reset()
+    return out, cost
+
+
+def assert_same_cost(cr, cb, label=""):
+    # work values are integer-valued floats: exact under reordering
+    assert cr.work == cb.work, f"{label} work {cr.work} != {cb.work}"
+    # depth includes log2 terms: summed in different order across engines
+    assert np.isclose(cr.depth, cb.depth, rtol=1e-9), f"{label} depth {cr.depth} != {cb.depth}"
+
+
+class TestEngineSelection:
+    def test_default_is_batched(self):
+        assert default_engine() == "batched"
+        assert resolve_engine(None) == "batched"
+
+    def test_resolve_explicit(self):
+        assert resolve_engine("recursive") == "recursive"
+        assert resolve_engine("batched") == "batched"
+
+    def test_bad_env_default_rejected(self):
+        # a typo'd REPRO_QUERY_ENGINE must error, not silently fall
+        # through to the recursive path
+        import repro.kdtree.batch as B
+
+        old = B._default_engine
+        B._default_engine = "warp"
+        try:
+            with pytest.raises(ValueError, match="REPRO_QUERY_ENGINE"):
+                resolve_engine(None)
+        finally:
+            B._default_engine = old
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_engine("vectorized")
+        with pytest.raises(ValueError):
+            set_default_engine("gpu")
+
+    def test_set_default_engine_round_trip(self):
+        set_default_engine("recursive")
+        try:
+            assert resolve_engine(None) == "recursive"
+        finally:
+            set_default_engine("batched")
+
+    def test_knn_rejects_unknown_engine(self, rng):
+        t = KDTree(rng.uniform(size=(32, 2)))
+        with pytest.raises(ValueError):
+            knn(t, rng.uniform(size=(4, 2)), 2, engine="nope")
+
+
+class TestKnnEquivalence:
+    @pytest.mark.parametrize("dim", [2, 3, 5, 7])
+    def test_results_and_charges_match(self, dim, rng):
+        pts = rng.uniform(0, 100, size=(1500, dim))
+        qs = rng.uniform(0, 100, size=(400, dim))
+        t = KDTree(pts)
+        (dr, ir), cr = costed(knn, t, qs, 8, engine="recursive")
+        (db, ib), cb = costed(knn, t, qs, 8, engine="batched")
+        assert np.array_equal(dr, db)
+        assert np.array_equal(ir, ib)
+        assert_same_cost(cr, cb, f"knn dim={dim}")
+
+    @pytest.mark.parametrize("dim", [2, 5])
+    def test_with_deleted_nodes(self, dim, rng):
+        pts = rng.uniform(0, 100, size=(1200, dim))
+        qs = rng.uniform(0, 100, size=(300, dim))
+        t = KDTree(pts.copy())
+        t.erase(pts[::3])  # tombstones points and kills whole subtrees
+        (dr, ir), cr = costed(knn, t, qs, 5, engine="recursive")
+        (db, ib), cb = costed(knn, t, qs, 5, engine="batched")
+        assert np.array_equal(dr, db)
+        assert np.array_equal(ir, ib)
+        assert_same_cost(cr, cb, f"knn deleted dim={dim}")
+
+    def test_exclude_self(self, rng):
+        pts = rng.uniform(0, 10, size=(500, 3))
+        t = KDTree(pts)
+        (dr, ir), cr = costed(knn, t, pts, 4, True, engine="recursive")
+        (db, ib), cb = costed(knn, t, pts, 4, True, engine="batched")
+        assert np.array_equal(dr, db)
+        assert np.array_equal(ir, ib)
+        assert np.all(ib != np.arange(len(pts))[:, None])
+        assert_same_cost(cr, cb, "exclude_self")
+
+    def test_k_larger_than_n(self, rng):
+        pts = rng.uniform(size=(7, 3))
+        qs = rng.uniform(size=(5, 3))
+        t = KDTree(pts)
+        (dr, ir), cr = costed(knn, t, qs, 12, engine="recursive")
+        (db, ib), cb = costed(knn, t, qs, 12, engine="batched")
+        assert np.array_equal(dr, db)
+        assert np.array_equal(ir, ib)
+        assert np.all(ib[:, 7:] == -1)
+        assert_same_cost(cr, cb, "k>n")
+
+    def test_empty_tree_and_empty_batch(self, rng):
+        te = KDTree(np.empty((0, 2)))
+        (dr, ir), cr = costed(knn, te, rng.uniform(size=(4, 2)), 2, engine="recursive")
+        (db, ib), cb = costed(knn, te, rng.uniform(size=(4, 2)), 2, engine="batched")
+        assert np.array_equal(dr, db) and np.array_equal(ir, ib)
+        assert_same_cost(cr, cb, "empty tree")
+
+        t = KDTree(rng.uniform(size=(50, 2)))
+        (dr, ir), cr = costed(knn, t, np.empty((0, 2)), 3, engine="recursive")
+        (db, ib), cb = costed(knn, t, np.empty((0, 2)), 3, engine="batched")
+        assert dr.shape == db.shape == (0, 3)
+        assert_same_cost(cr, cb, "empty batch")
+
+    def test_fully_deleted_tree(self, rng):
+        pts = rng.uniform(size=(60, 2))
+        t = KDTree(pts.copy())
+        t.erase(pts)
+        qs = rng.uniform(size=(10, 2))
+        (dr, ir), cr = costed(knn, t, qs, 3, engine="recursive")
+        (db, ib), cb = costed(knn, t, qs, 3, engine="batched")
+        assert np.all(ib == -1)
+        assert np.array_equal(ir, ib) and np.array_equal(dr, db)
+        assert_same_cost(cr, cb, "dead tree")
+
+
+class TestRangeEquivalence:
+    @pytest.mark.parametrize("dim", [2, 3, 5])
+    def test_box_batch(self, dim, rng):
+        pts = rng.uniform(0, 100, size=(1500, dim))
+        t = KDTree(pts)
+        ctr = rng.uniform(0, 100, size=(200, dim))
+        w = rng.uniform(1, 25, size=(200, dim))
+        rr, cr = costed(range_query_batch, t, ctr - w, ctr + w, engine="recursive")
+        rb, cb = costed(range_query_batch, t, ctr - w, ctr + w, engine="batched")
+        assert len(rr) == len(rb)
+        for a, b in zip(rr, rb):
+            assert np.array_equal(a, b)
+            assert a.dtype == b.dtype
+        assert_same_cost(cr, cb, f"box dim={dim}")
+
+    def test_ball_batch_per_query_radii_with_deletes(self, rng):
+        pts = rng.uniform(0, 100, size=(1200, 3))
+        t = KDTree(pts.copy())
+        t.erase(pts[100:500])
+        ctr = rng.uniform(0, 100, size=(150, 3))
+        rad = rng.uniform(2, 20, size=150)
+        rr, cr = costed(range_query_ball_batch, t, ctr, rad, engine="recursive")
+        rb, cb = costed(range_query_ball_batch, t, ctr, rad, engine="batched")
+        for a, b in zip(rr, rb):
+            assert np.array_equal(a, b)
+        assert_same_cost(cr, cb, "ball+deletes")
+
+    def test_scalar_radius_broadcast(self, rng):
+        pts = rng.uniform(0, 10, size=(400, 2))
+        t = KDTree(pts)
+        ctr = rng.uniform(0, 10, size=(60, 2))
+        rr, cr = costed(range_query_ball_batch, t, ctr, 1.5, engine="recursive")
+        rb, cb = costed(range_query_ball_batch, t, ctr, 1.5, engine="batched")
+        for a, b in zip(rr, rb):
+            assert np.array_equal(a, b)
+        assert_same_cost(cr, cb, "scalar radius")
+
+
+class TestConsumers:
+    def test_bdl_knn(self, rng):
+        pts = rng.uniform(0, 10, size=(2000, 3))
+        b = BDLTree(3, buffer_size=128)
+        for i in range(0, 2000, 400):
+            b.insert(pts[i : i + 400])
+        b.erase(pts[50:250])
+        qs = rng.uniform(0, 10, size=(300, 3))
+        (dr, ir), cr = costed(b.knn, qs, 6, engine="recursive")
+        (db, ib), cb = costed(b.knn, qs, 6, engine="batched")
+        assert np.array_equal(dr, db)
+        assert np.array_equal(ir, ib)
+        assert_same_cost(cr, cb, "bdl knn")
+
+    def test_bdl_knn_buffer_only(self, rng):
+        """All points still staged in the buffer tree: pure brute scan."""
+        pts = rng.uniform(0, 10, size=(40, 2))
+        b = BDLTree(2, buffer_size=64)
+        b.insert(pts)
+        qs = rng.uniform(0, 10, size=(12, 2))
+        (dr, ir), cr = costed(b.knn, qs, 3, engine="recursive")
+        (db, ib), cb = costed(b.knn, qs, 3, engine="batched")
+        assert np.array_equal(dr, db) and np.array_equal(ir, ib)
+        assert_same_cost(cr, cb, "bdl buffer-only")
+
+    def test_allnn_matches_dual_tree(self, rng):
+        for n, d in ((200, 2), (300, 3), (128, 5)):
+            pts = rng.uniform(0, 10, size=(n, d))
+            dd, di = all_nearest_neighbors(pts, engine="recursive")
+            bd, bi = all_nearest_neighbors(pts, engine="batched")
+            assert np.allclose(dd, bd)
+            assert np.all(bi != np.arange(n))
+            # ids match wherever the nearest neighbor is unique
+            uniq = ~np.isclose(bd, 0)
+            assert np.array_equal(di[uniq], bi[uniq]) or np.allclose(dd, bd)
+
+    def test_allnn_duplicates_pair_up(self, rng):
+        pts = rng.uniform(size=(30, 2))
+        pts[1] = pts[0]
+        bd, bi = all_nearest_neighbors(pts, engine="batched")
+        assert bd[0] == 0.0 and bd[1] == 0.0
+        assert bi[0] == 1 and bi[1] == 0
+
+    def test_dbscan_labels_identical(self, rng):
+        pts = rng.uniform(0, 10, size=(600, 2))
+        lr, cr = costed(dbscan, pts, 0.7, 8, engine="recursive")
+        lb, cb = costed(dbscan, pts, 0.7, 8, engine="batched")
+        assert np.array_equal(lr, lb)
+        assert_same_cost(cr, cb, "dbscan")
+
+
+class TestBatchBuffers:
+    def test_matches_scalar_buffer_sequence(self, rng):
+        """Feeding the same candidate blocks produces the same state."""
+        k = 4
+        scalar = KNNBuffer(k)
+        batch = BatchKNNBuffers(1, k)
+        row = np.array([0], dtype=np.int64)
+        for _ in range(6):
+            m = int(rng.integers(1, 11))
+            d = rng.uniform(0, 100, size=m)
+            g = rng.integers(0, 1000, size=m).astype(np.int64)
+            scalar.insert_batch(d, g)
+            batch.insert_grouped(row, d, g, np.array([m], dtype=np.int64))
+            assert scalar.count == batch.count[0]
+            assert scalar.bound == batch.bound[0]
+            assert np.array_equal(
+                scalar.dists[: scalar.count], batch.dists[0, : batch.count[0]]
+            )
+            assert np.array_equal(
+                scalar.ids[: scalar.count], batch.ids[0, : batch.count[0]]
+            )
+
+    def test_extract_matches_scalar_result(self, rng):
+        k = 3
+        scalar = KNNBuffer(k)
+        batch = BatchKNNBuffers(1, k)
+        d = rng.uniform(0, 10, size=9)
+        g = np.arange(9, dtype=np.int64)
+        scalar.insert_batch(d, g)
+        batch.insert_grouped(
+            np.array([0], dtype=np.int64), d, g, np.array([9], dtype=np.int64)
+        )
+        ds, is_ = scalar.result()
+        db, ib = batch.extract(k, exclude_self=False)
+        assert np.array_equal(ds, db[0, : len(ds)])
+        assert np.array_equal(is_, ib[0, : len(is_)])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            BatchKNNBuffers(4, 0)
+
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64)
+
+
+def _points(d, min_n, max_n):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(min_n, max_n), st.just(d)),
+        elements=finite,
+    )
+
+
+class TestEngineProperties:
+    @given(data=st.data(), dim=st.sampled_from([2, 3, 5, 7]))
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_knn_and_range_equivalence(self, data, dim):
+        pts = data.draw(_points(dim, 8, 80))
+        qs = data.draw(_points(dim, 1, 20))
+        k = data.draw(st.integers(1, 6))
+        delete = data.draw(st.booleans())
+        t = KDTree(pts.copy())
+        if delete and len(pts) > 10:
+            t.erase(pts[:: max(2, len(pts) // 5)])
+
+        (dr, ir), cr = costed(knn, t, qs, k, engine="recursive")
+        (db, ib), cb = costed(knn, t, qs, k, engine="batched")
+        assert np.array_equal(dr, db)
+        assert np.array_equal(ir, ib)
+        assert_same_cost(cr, cb, "prop knn")
+
+        lo = np.minimum(qs[: len(qs) // 2 + 1], pts.min(axis=0))
+        hi = lo + np.abs(data.draw(_points(dim, 1, 1))[0])
+        rr, crr = costed(range_query_batch, t, lo, np.maximum(lo, hi), engine="recursive")
+        rb, crb = costed(range_query_batch, t, lo, np.maximum(lo, hi), engine="batched")
+        for a, b in zip(rr, rb):
+            assert np.array_equal(a, b)
+        assert_same_cost(crr, crb, "prop range")

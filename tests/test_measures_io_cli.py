@@ -102,6 +102,20 @@ class TestCLI:
         mat = np.loadtxt(nn, delimiter=",")
         assert mat.shape == (400, 3)
 
+    def test_knn_engines_agree(self, tmp_path, capsys):
+        f = str(tmp_path / "p.npy")
+        self._run("generate", "2D-U-300", "-o", f)
+        batched = str(tmp_path / "nn_batched.csv")
+        recursive = str(tmp_path / "nn_recursive.csv")
+        assert self._run("knn", f, "-k", "4", "--engine", "batched", "-o", batched) == 0
+        assert self._run("knn", f, "-k", "4", "--engine", "recursive", "-o", recursive) == 0
+        out = capsys.readouterr().out
+        assert "batched engine" in out and "recursive engine" in out
+        a = np.loadtxt(batched, delimiter=",")
+        b = np.loadtxt(recursive, delimiter=",")
+        assert a.shape == (300, 4)
+        assert np.array_equal(a, b)
+
     def test_emst_and_graph(self, tmp_path, capsys):
         f = str(tmp_path / "p.npy")
         self._run("generate", "2D-U-300", "-o", f)

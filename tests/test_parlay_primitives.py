@@ -18,6 +18,7 @@ from repro.parlay import (
     split_blocks,
     tracker,
 )
+from repro.parlay.primitives import query_blocks
 
 
 class TestMapReduce:
@@ -98,6 +99,20 @@ class TestPack:
     def test_pflatten_empty_list(self):
         assert len(pflatten([])) == 0
 
+    def test_pflatten_empty_list_respects_dtype(self):
+        # regression: the empty-input path used to ignore ``dtype`` and
+        # always hand back float64, breaking int consumers downstream
+        out = pflatten([], dtype=np.int64)
+        assert out.dtype == np.int64 and len(out) == 0
+
+    def test_pflatten_empty_list_defaults_to_float64(self):
+        assert pflatten([]).dtype == np.float64
+
+    def test_pflatten_coerces_dtype(self):
+        out = pflatten([np.array([1, 2]), np.array([3])], dtype=np.float64)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, [1.0, 2.0, 3.0])
+
 
 class TestSplitBlocks:
     def test_covers_range_exactly(self):
@@ -113,6 +128,29 @@ class TestSplitBlocks:
 
     def test_zero_items(self):
         assert split_blocks(0, 4) == []
+
+
+class TestQueryBlocks:
+    def test_small_batch_is_one_block(self):
+        # regression: the old worker-count floor shattered a 10-query
+        # batch into single-query shards; now grain bounds the split
+        assert query_blocks(10, grain=64) == [(0, 10)]
+
+    def test_block_count_is_ceil_n_over_grain(self):
+        blocks = query_blocks(1000, grain=64)
+        assert len(blocks) == -(-1000 // 64)
+        assert blocks[0][0] == 0 and blocks[-1][1] == 1000
+        for (a, b), (c, d) in zip(blocks, blocks[1:]):
+            assert b == c
+
+    def test_blocks_never_finer_than_grain(self):
+        for n in (1, 63, 64, 65, 129, 512):
+            blocks = query_blocks(n, grain=64)
+            assert len(blocks) == -(-n // 64)
+            assert all(hi > lo for lo, hi in blocks)
+
+    def test_zero_queries(self):
+        assert query_blocks(0, grain=64) == []
 
 
 class TestCostCharging:
