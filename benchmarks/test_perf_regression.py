@@ -1,22 +1,31 @@
-"""Query-engine performance regression gate.
+"""Performance regression gates: query engine + geometry query service.
 
-Measures the batched (vectorized frontier) k-NN engine against the
-recursive per-query walk on the headline workload — 50k-point self-kNN
-with k=10 in 2D and 7D — and records the wall-clock ratio into
-``BENCH_knn.json`` at the repo root.  The two engines must return
+Engine gate: measures the batched (vectorized frontier) k-NN engine
+against the recursive per-query walk on the headline workload — 50k-point
+self-kNN with k=10 in 2D and 7D — and records the runs into
+``BENCH_knn.json`` at the repo root (self-describing records via
+``EngineComparison.to_json``).  The two engines must return
 bitwise-identical neighbors and charge identical work/depth; at full
 scale (``REPRO_BENCH_SCALE >= 1``) the batched engine must also be at
 least 5x faster, which is the point of having it.
+
+Service gate: replays a 10k-request mixed kNN/range trace through
+``repro.serve.GeometryService`` and requires (at full scale) coalesced
+throughput >= 5x the one-request-at-a-time recursive loop, plus a cache
+hit-rate >= 50% on a repeated trace.  Results land in
+``BENCH_serve.json``.
 """
 
 import json
 import os
+import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.bench import bench_scale, measure_engines
 from repro.kdtree import KDTree, knn
+from repro.serve import GeometryService, replay, run_unbatched, synthetic_trace
 
 from conftest import data, run_once
 
@@ -25,14 +34,22 @@ K = 10
 FULL_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0")) >= 1.0
 MIN_RATIO = 5.0
 
+SERVE_N = bench_scale(20_000)          # points served
+SERVE_REQUESTS = bench_scale(10_000)   # trace length
+MIN_SERVE_RATIO = 5.0
+MIN_HIT_RATE = 0.5
+
 _records: dict[str, dict] = {}
+_serve_records: dict[str, dict] = {}
 
 
 def _bench(benchmark, ds_name: str):
     pts = data(f"{ds_name}-{N}")
     tree = KDTree(pts)
-    cmp = measure_engines(f"knn {ds_name} n={N} k={K}", knn, tree, pts, K,
-                          exclude_self=True)
+    cmp = measure_engines(
+        f"knn {ds_name} n={N} k={K}", knn, tree, pts, K,
+        exclude_self=True, meta={"n": N, "dims": pts.shape[1], "k": K},
+    )
     db, ib = cmp.batched.result
     dr, ir = cmp.recursive.result
     assert np.array_equal(ib, ir), "engines returned different neighbors"
@@ -41,15 +58,7 @@ def _bench(benchmark, ds_name: str):
         f"work/depth charges diverge: batched {cmp.batched.cost} "
         f"vs recursive {cmp.recursive.cost}"
     )
-    _records[ds_name] = {
-        "n": N,
-        "k": K,
-        "t1_batched": cmp.batched.t1,
-        "t1_recursive": cmp.recursive.t1,
-        "ratio": cmp.ratio,
-        "work": cmp.batched.cost.work,
-        "depth": cmp.batched.cost.depth,
-    }
+    _records[ds_name] = cmp.to_json()
     print("\n" + cmp.summary())
     if FULL_SCALE:
         assert cmp.ratio >= MIN_RATIO, (
@@ -67,14 +76,109 @@ def test_knn_7d_engine_ratio(benchmark):
     _bench(benchmark, "7D-U")
 
 
-def teardown_module(module):
-    if not _records:
-        return
-    out = Path(__file__).resolve().parent.parent / "BENCH_knn.json"
-    payload = {
-        "benchmark": "self-kNN, batched vs recursive query engine",
-        "scale": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
-        "datasets": _records,
+def _assert_results_equal(served, baseline):
+    assert len(served) == len(baseline)
+    for a, b in zip(served, baseline):
+        if isinstance(a, tuple):
+            assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        else:
+            assert np.array_equal(a, b)
+
+
+def test_serve_coalesced_throughput(benchmark):
+    """Coalesced service >= 5x the one-at-a-time recursive loop."""
+    pts = data(f"2D-U-{SERVE_N}")
+    trace = synthetic_trace(pts, SERVE_REQUESTS, kinds=("knn", "ball", "box"),
+                            k=K, repeat_frac=0.0, seed=7)
+
+    service = GeometryService(max_batch=1024, max_wait=0.002,
+                              max_pending=4 * SERVE_REQUESTS,
+                              cache_capacity=4 * SERVE_REQUESTS)
+    service.register("bench", KDTree(pts))
+    report = replay(service, "bench", trace)
+
+    t0 = time.perf_counter()
+    baseline = run_unbatched(KDTree(pts), trace)
+    t_unbatched = time.perf_counter() - t0
+
+    _assert_results_equal(report.results, baseline)
+    ratio = t_unbatched / report.seconds if report.seconds > 0 else float("inf")
+    snap = report.stats
+    _serve_records["throughput"] = {
+        "n": SERVE_N,
+        "requests": SERVE_REQUESTS,
+        "k": K,
+        "mix": ["knn", "ball", "box"],
+        "t_service": report.seconds,
+        "t_unbatched": t_unbatched,
+        "ratio": ratio,
+        "req_per_s": report.throughput,
+        "avg_batch_size": snap["avg_batch_size"],
+        "max_batch_size": snap["max_batch_size"],
+        "work_charged": snap["work_charged"],
+        "depth_charged": snap["depth_charged"],
     }
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {out}")
+    print(f"\nserve: {report.summary()}")
+    print(f"unbatched: {t_unbatched:.3f}s -> service {ratio:.2f}x faster")
+    if FULL_SCALE:
+        assert ratio >= MIN_SERVE_RATIO, (
+            f"coalesced service only {ratio:.2f}x faster than the "
+            f"unbatched loop (gate requires >= {MIN_SERVE_RATIO}x at full scale)"
+        )
+    run_once(benchmark, lambda: None)
+
+
+def test_serve_cache_hit_rate(benchmark):
+    """Repeated trace must be served >= 50% from the result cache."""
+    pts = data(f"2D-U-{SERVE_N}")
+    trace = synthetic_trace(pts, SERVE_REQUESTS, kinds=("knn", "ball", "box"),
+                            k=K, repeat_frac=0.6, seed=11)
+
+    service = GeometryService(max_batch=1024, max_wait=0.002,
+                              max_pending=4 * SERVE_REQUESTS,
+                              cache_capacity=4 * SERVE_REQUESTS)
+    service.register("bench", KDTree(pts))
+    report = replay(service, "bench", trace)
+    _assert_results_equal(report.results, run_unbatched(KDTree(pts), trace))
+
+    snap = report.stats
+    _serve_records["cache"] = {
+        "n": SERVE_N,
+        "requests": SERVE_REQUESTS,
+        "repeat_frac": 0.6,
+        "hit_rate": snap["hit_rate"],
+        "cache_hits": snap["cache_hits"],
+        "cache_misses": snap["cache_misses"],
+        "req_per_s": report.throughput,
+    }
+    print(f"\nserve (repeated trace): {report.summary()}")
+    assert snap["hit_rate"] >= MIN_HIT_RATE, (
+        f"cache hit-rate {snap['hit_rate']:.1%} below the "
+        f"{MIN_HIT_RATE:.0%} gate on a repeat_frac=0.6 trace"
+    )
+    run_once(benchmark, lambda: None)
+
+
+def teardown_module(module):
+    root = Path(__file__).resolve().parent.parent
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    if _records:
+        out = root / "BENCH_knn.json"
+        payload = {
+            "benchmark": "self-kNN, batched vs recursive query engine",
+            "scale": scale,
+            "datasets": _records,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    if _serve_records:
+        out = root / "BENCH_serve.json"
+        payload = {
+            "benchmark": "geometry query service: coalesced vs unbatched, cache",
+            "scale": scale,
+            "gates": {"min_throughput_ratio": MIN_SERVE_RATIO,
+                      "min_hit_rate": MIN_HIT_RATE},
+            "runs": _serve_records,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out}")

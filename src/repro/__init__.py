@@ -18,6 +18,9 @@ Modules mirror the paper's architecture (Figure 1):
   :mod:`repro.clustering` — the remaining Module-2 algorithms.
 * :mod:`repro.graphs` — spatial graph generators (Module 3).
 * :mod:`repro.generators` — benchmark data generators (Module 4).
+* :mod:`repro.serve` — the in-process geometry query service: dynamic
+  batching of single requests through the batched engine, versioned
+  result caching, and bounded-queue backpressure.
 
 Quickstart::
 
@@ -57,6 +60,7 @@ from .graphs import (
 from .hull import convex_hull
 from .kdtree import KDTree
 from .parlay import set_backend, use_backend
+from .serve import GeometryService
 from .seb import Ball, smallest_enclosing_ball
 from .spatialsort import ZdTree, morton_sort
 from .wspd import wspd
@@ -66,6 +70,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BDLTree",
     "Ball",
+    "GeometryService",
     "Graph",
     "InPlaceTree",
     "KDTree",

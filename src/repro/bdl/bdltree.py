@@ -67,6 +67,10 @@ class BDLTree:
         # static trees: index i has capacity X * 2^i; None when empty
         self.trees: list[KDTree | None] = []
         self.next_gid = 0
+        # monotonic mutation counter: bumped once per batch insert/erase
+        # that changes the live point set (version-keyed result caches —
+        # repro.serve — rely on it to never serve stale answers)
+        self.version = 0
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -117,6 +121,7 @@ class BDLTree:
         if m == 0:
             return gids
         self._insert_with_ids(pts, gids)
+        self.version += 1
         return gids
 
     def _insert_with_ids(self, pts: np.ndarray, gids: np.ndarray) -> None:
@@ -230,6 +235,8 @@ class BDLTree:
                 self.trees[i] = None
         if re_p:
             self._insert_with_ids(np.vstack(re_p), np.concatenate(re_g))
+        if deleted:
+            self.version += 1
         return deleted
 
     # ------------------------------------------------------------------
@@ -355,6 +362,67 @@ class BDLTree:
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    # batched range search (array-at-a-time across the log-structure)
+    # ------------------------------------------------------------------
+    def range_query_box_batch(self, los, his) -> list[np.ndarray]:
+        """Per-query global ids for a batch of box queries.
+
+        Each query's hits concatenate in the same order as the
+        single-query path (static trees in slot order, then the buffer
+        tree), so row ``i`` is bitwise-identical to
+        ``range_query_box(los[i], his[i])``.
+        """
+        from ..kdtree.batch import batched_range_query_batch
+
+        los = np.asarray(los, dtype=np.float64)
+        his = np.asarray(his, dtype=np.float64)
+        m = len(los)
+        parts: list[list[np.ndarray]] = [[] for _ in range(m)]
+        for t in self.trees:
+            if t is not None and t.size() > 0:
+                for i, local in enumerate(batched_range_query_batch(t, los, his)):
+                    if len(local):
+                        parts[i].append(t.gids[local])
+        if len(self.buf_pts):
+            charge(m * len(self.buf_pts))
+            inside = np.all(
+                (self.buf_pts[None, :, :] >= los[:, None, :])
+                & (self.buf_pts[None, :, :] <= his[:, None, :]),
+                axis=2,
+            )
+            for i in np.flatnonzero(inside.any(axis=1)):
+                parts[i].append(self.buf_gids[inside[i]])
+        return [
+            np.concatenate(p) if p else np.empty(0, dtype=np.int64) for p in parts
+        ]
+
+    def range_query_ball_batch(self, centers, radii) -> list[np.ndarray]:
+        """Per-query global ids for a batch of ball queries."""
+        from ..kdtree.batch import batched_range_query_ball_batch
+
+        cs = np.asarray(centers, dtype=np.float64)
+        m = len(cs)
+        rr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (m,))
+        parts: list[list[np.ndarray]] = [[] for _ in range(m)]
+        for t in self.trees:
+            if t is not None and t.size() > 0:
+                for i, local in enumerate(
+                    batched_range_query_ball_batch(t, cs, rr)
+                ):
+                    if len(local):
+                        parts[i].append(t.gids[local])
+        if len(self.buf_pts):
+            charge(m * len(self.buf_pts))
+            diff = self.buf_pts[None, :, :] - cs[:, None, :]
+            d2 = np.einsum("ijk,ijk->ij", diff, diff)
+            inside = d2 <= np.square(rr)[:, None]
+            for i in np.flatnonzero(inside.any(axis=1)):
+                parts[i].append(self.buf_gids[inside[i]])
+        return [
+            np.concatenate(p) if p else np.empty(0, dtype=np.int64) for p in parts
+        ]
 
 
 def _match_rows(pts: np.ndarray, q: np.ndarray) -> np.ndarray:

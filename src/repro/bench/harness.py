@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..parlay.scheduler import get_scheduler
 from ..parlay.workdepth import (
     HYPERTHREAD_FACTOR,
     Cost,
@@ -43,12 +44,18 @@ def bench_scale(n: int) -> int:
 
 @dataclass
 class Measurement:
-    """One benchmark run: wall time + modeled parallel behavior."""
+    """One benchmark run: wall time + modeled parallel behavior.
+
+    ``meta`` carries run metadata (n, dims, k, engine, repeat, backend,
+    ...) so serialized records are self-describing; :func:`measure`
+    always stamps ``repeat`` and the scheduler ``backend``.
+    """
 
     name: str
     t1: float  # measured single-thread wall-clock seconds
     cost: Cost
     result: object = None
+    meta: dict = field(default_factory=dict)
 
     def speedup(self, workers: float = PAPER_CORES) -> float:
         # a parallel implementation can always fall back to its serial
@@ -59,9 +66,24 @@ class Measurement:
         s = self.speedup(workers)
         return self.t1 / s if s > 0 else self.t1
 
+    def to_json(self) -> dict:
+        """A self-describing JSON-ready record of this run."""
+        return {
+            "name": self.name,
+            "t1": self.t1,
+            "work": self.cost.work,
+            "depth": self.cost.depth,
+            "meta": dict(self.meta),
+        }
 
-def measure(name: str, fn, *args, repeat: int = 1, **kwargs) -> Measurement:
-    """Run ``fn`` and capture wall time and work-depth cost."""
+
+def measure(name: str, fn, *args, repeat: int = 1, meta: dict | None = None,
+            **kwargs) -> Measurement:
+    """Run ``fn`` and capture wall time and work-depth cost.
+
+    ``meta`` is merged into the measurement's metadata, alongside the
+    automatically recorded ``repeat`` and scheduler ``backend``.
+    """
     best_t = float("inf")
     cost = Cost()
     result = None
@@ -74,7 +96,10 @@ def measure(name: str, fn, *args, repeat: int = 1, **kwargs) -> Measurement:
             best_t = dt
             cost = tracker.total()
     tracker.reset()
-    return Measurement(name, best_t, cost, result)
+    full_meta = {"repeat": max(repeat, 1), "backend": get_scheduler().backend}
+    if meta:
+        full_meta.update(meta)
+    return Measurement(name, best_t, cost, result, full_meta)
 
 
 @dataclass
@@ -106,8 +131,30 @@ class EngineComparison:
             f"charges {'match' if self.charges_match() else 'DIFFER'}"
         )
 
+    def to_json(self) -> dict:
+        """Self-describing record: both engines' runs + shared metadata.
 
-def measure_engines(name: str, fn, *args, repeat: int = 1, **kwargs) -> EngineComparison:
+        Metadata common to both runs (n, dims, k, repeat, backend, ...)
+        is lifted into a top-level ``meta`` so a ``BENCH_*.json`` entry
+        explains itself without reference to the generating script.
+        """
+        b, r = self.batched.to_json(), self.recursive.to_json()
+        shared = {k: v for k, v in b["meta"].items()
+                  if k in r["meta"] and r["meta"][k] == v and k != "engine"}
+        for rec in (b, r):
+            rec["meta"] = {k: v for k, v in rec["meta"].items() if k not in shared}
+        return {
+            "name": self.name,
+            "meta": shared,
+            "ratio": self.ratio,
+            "charges_match": self.charges_match(),
+            "batched": b,
+            "recursive": r,
+        }
+
+
+def measure_engines(name: str, fn, *args, repeat: int = 1,
+                    meta: dict | None = None, **kwargs) -> EngineComparison:
     """Run ``fn(engine=...)`` under both query engines and compare.
 
     ``fn`` must accept an ``engine`` keyword (e.g. ``knn``,
@@ -116,8 +163,14 @@ def measure_engines(name: str, fn, *args, repeat: int = 1, **kwargs) -> EngineCo
     the two runs should agree (``charges_match``) since the engines are
     cost-equivalent by construction.
     """
-    batched = measure(f"{name}[batched]", fn, *args, repeat=repeat, engine="batched", **kwargs)
-    recursive = measure(f"{name}[recursive]", fn, *args, repeat=repeat, engine="recursive", **kwargs)
+    batched = measure(
+        f"{name}[batched]", fn, *args, repeat=repeat,
+        meta={**(meta or {}), "engine": "batched"}, engine="batched", **kwargs,
+    )
+    recursive = measure(
+        f"{name}[recursive]", fn, *args, repeat=repeat,
+        meta={**(meta or {}), "engine": "recursive"}, engine="recursive", **kwargs,
+    )
     return EngineComparison(name, batched, recursive)
 
 

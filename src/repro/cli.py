@@ -11,6 +11,7 @@ Examples::
     python -m repro knn pts.npy -k 8 -o neighbors.csv
     python -m repro emst pts.npy -o mst.csv
     python -m repro graph pts.npy --kind gabriel -o edges.csv
+    python -m repro serve-replay pts.npy --synthetic 2000 --compare
 """
 
 from __future__ import annotations
@@ -23,9 +24,17 @@ import numpy as np
 
 
 def _load(path: str):
+    """Load a point file, exiting 2 with a one-line message on bad input."""
     from .generators.io import load_points
 
-    return load_points(path)
+    try:
+        return load_points(path)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    except OSError as e:
+        print(f"error: cannot read {path!r}: {e.strerror or e}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def cmd_generate(args) -> int:
@@ -132,6 +141,69 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def cmd_serve_replay(args) -> int:
+    from .bdl import BDLTree
+    from .kdtree import KDTree
+    from .serve import (
+        GeometryService,
+        load_trace,
+        replay,
+        run_unbatched,
+        save_trace,
+        synthetic_trace,
+    )
+
+    pts = _load(args.input)
+    coords = pts.coords
+
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        kinds = tuple(args.mix.split(","))
+        trace = synthetic_trace(
+            coords,
+            args.synthetic,
+            kinds=kinds,
+            k=args.k,
+            repeat_frac=args.repeat_frac,
+            seed=args.seed,
+        )
+    if args.save_trace:
+        save_trace(args.save_trace, trace)
+        print(f"wrote {len(trace)} requests to {args.save_trace}")
+
+    def build_index():
+        if args.dynamic:
+            bdl = BDLTree(dim=coords.shape[1])
+            bdl.insert(coords)
+            return bdl
+        return KDTree(coords)
+
+    service = GeometryService(
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        max_pending=args.max_pending,
+        cache_capacity=args.cache,
+    )
+    service.register("data", build_index())
+    report = replay(service, "data", trace)
+    kind = "BDLTree" if args.dynamic else "KDTree"
+    print(f"serve-replay: {len(coords)} points ({kind}), {len(trace)} requests")
+    print(report.summary())
+
+    if args.compare:
+        index = build_index()  # fresh index: same starting state as the service
+        t0 = time.perf_counter()
+        run_unbatched(index, trace)
+        dt = time.perf_counter() - t0
+        ratio = dt / report.seconds if report.seconds > 0 else float("inf")
+        print(
+            f"unbatched loop (recursive engine): {dt:.3f}s "
+            f"({len(trace) / dt:,.0f} req/s) -> service is {ratio:.2f}x faster"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -187,6 +259,35 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--min-pts", type=int, default=8)
     c.add_argument("-o", "--output")
     c.set_defaults(fn=cmd_cluster)
+
+    sr = sub.add_parser(
+        "serve-replay",
+        help="replay a request trace through the geometry query service",
+        description="Replay a JSONL request trace (or a synthetic one) "
+        "through repro.serve.GeometryService and report throughput, "
+        "cache hit-rate, and batching behaviour.",
+    )
+    sr.add_argument("input", help="point file the queries run against")
+    sr.add_argument("--trace", help="JSONL trace file (default: synthesize one)")
+    sr.add_argument("--synthetic", type=int, default=2000, metavar="N",
+                    help="requests to synthesize when no --trace is given")
+    sr.add_argument("--mix", default="knn,ball,box",
+                    help="comma-separated kinds for synthetic traces")
+    sr.add_argument("-k", type=int, default=8, help="k for synthetic kNN requests")
+    sr.add_argument("--repeat-frac", type=float, default=0.25,
+                    help="fraction of synthetic requests repeating earlier ones")
+    sr.add_argument("--seed", type=int, default=0)
+    sr.add_argument("--save-trace", help="also write the replayed trace as JSONL")
+    sr.add_argument("--dynamic", action="store_true",
+                    help="serve from a BDLTree instead of a static KDTree")
+    sr.add_argument("--max-batch", type=int, default=256)
+    sr.add_argument("--max-wait", type=float, default=0.002)
+    sr.add_argument("--max-pending", type=int, default=4096)
+    sr.add_argument("--cache", type=int, default=8192,
+                    help="result-cache capacity (entries)")
+    sr.add_argument("--compare", action="store_true",
+                    help="also time the one-request-at-a-time recursive loop")
+    sr.set_defaults(fn=cmd_serve_replay)
     return p
 
 

@@ -16,9 +16,20 @@ import numpy as np
 
 from ..core.points import PointSet, as_array
 
-__all__ = ["save_points", "load_points"]
+__all__ = ["SUPPORTED_EXTENSIONS", "save_points", "load_points"]
 
 _PBBS_PREFIX = "pbbs_sequencePoint"
+
+#: Extensions load_points understands ("" = extension-less text files).
+SUPPORTED_EXTENSIONS = (".npy", ".csv", ".txt", ".pbbs", "")
+
+
+def _format_error(path: str, ext: str) -> ValueError:
+    names = ", ".join(e for e in SUPPORTED_EXTENSIONS if e)
+    return ValueError(
+        f"unrecognized point-file extension {ext!r} for {path!r}; "
+        f"supported formats: {names} (or extension-less text)"
+    )
 
 
 def save_points(path: str | os.PathLike, points, fmt: str | None = None) -> None:
@@ -40,13 +51,18 @@ def save_points(path: str | os.PathLike, points, fmt: str | None = None) -> None
             f.write(f"{_PBBS_PREFIX}{pts.shape[1]}d\n")
             np.savetxt(f, pts, delimiter=" ")
     else:
-        raise ValueError(f"cannot infer format for {path!r}; pass fmt=")
+        names = ", ".join(e for e in SUPPORTED_EXTENSIONS if e)
+        raise ValueError(
+            f"cannot infer format for {path!r} (supported: {names}); pass fmt="
+        )
 
 
 def load_points(path: str | os.PathLike) -> PointSet:
     """Read a point set written by :func:`save_points` (or compatible)."""
     path = os.fspath(path)
     ext = os.path.splitext(path)[1].lower()
+    if ext not in SUPPORTED_EXTENSIONS:
+        raise _format_error(path, ext)
     if ext == ".npy":
         return PointSet(np.load(path))
     with open(path) as f:

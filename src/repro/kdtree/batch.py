@@ -46,11 +46,13 @@ from .tree import KDTree
 __all__ = [
     "ENGINES",
     "BatchKNNBuffers",
+    "batched_allnn_on_tree",
     "batched_knn",
     "batched_knn_into",
     "batched_range_query_batch",
     "batched_range_query_ball_batch",
     "default_engine",
+    "execute_requests",
     "resolve_engine",
     "set_default_engine",
 ]
@@ -639,6 +641,115 @@ def batched_range_query_ball_batch(
 
     results = _split_hits(m, hq, hp, tree.perm)
     charge_blocked(qwork, qdepth, blocks)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous-batch entry point (used by repro.serve)
+# ----------------------------------------------------------------------
+def batched_allnn_on_tree(tree: KDTree) -> tuple[np.ndarray, np.ndarray]:
+    """1-NN of every *alive* point of an existing tree, banning self by id.
+
+    Rows follow ascending alive point index; distances are Euclidean
+    (not squared), matching :func:`repro.kdtree.allnn.all_nearest_neighbors`.
+    """
+    aids = np.flatnonzero(tree.alive)
+    if len(aids) < 2:
+        raise ValueError("allnn needs at least 2 alive points")
+    qs = tree.points[aids]
+    buf = BatchKNNBuffers(len(aids), 1)
+    batched_knn_into(tree, qs, buf, ban=tree.gids[aids])
+    d, i = buf.extract(1, exclude_self=False)
+    return np.sqrt(d[:, 0]), i[:, 0]
+
+
+def _range_box_results(index, los: np.ndarray, his: np.ndarray) -> list[np.ndarray]:
+    """Per-query global-id hits for a box batch on a KDTree or BDL index."""
+    if isinstance(index, KDTree):
+        return [index.gids[ids] for ids in batched_range_query_batch(index, los, his)]
+    return index.range_query_box_batch(los, his)
+
+
+def _range_ball_results(index, centers: np.ndarray, radii: np.ndarray) -> list[np.ndarray]:
+    if isinstance(index, KDTree):
+        return [
+            index.gids[ids]
+            for ids in batched_range_query_ball_batch(index, centers, radii)
+        ]
+    return index.range_query_ball_batch(centers, radii)
+
+
+def execute_requests(index, requests) -> list:
+    """Execute a *heterogeneous* batch of single-query requests.
+
+    ``requests`` is a sequence of ``(kind, payload, params)`` where
+
+    * ``("knn", q, {"k": k, "exclude_self": bool})`` — ``q`` of shape
+      (d,); result ``(sq_dists, ids)``, each of shape (k,);
+    * ``("box", box, {})`` — ``box`` of shape (2, d) holding (lo, hi);
+      result: global ids inside the closed box;
+    * ``("ball", (center, radius), {})`` — result: global ids within
+      ``radius`` of ``center`` (per-request radii batch together);
+    * ``("allnn", None, {})`` — result ``(dists, ids)`` over all alive
+      points (KDTree indexes only).
+
+    Requests are grouped by ``(kind, params)`` preserving first-seen
+    order and each group runs as ONE vectorized shot through the
+    batched engine, so a mixed slab from the service's coalescer costs
+    a handful of numpy dispatches instead of one tree walk per request.
+    Results come back in input order and are bitwise-identical to
+    running each request alone through the recursive engine.
+
+    ``index`` is a :class:`KDTree` or a BDL-style index exposing
+    ``knn`` / ``range_query_box_batch`` / ``range_query_ball_batch``;
+    ids are global (``gids``) in either case.
+    """
+    results: list = [None] * len(requests)
+    groups: dict[tuple, list[int]] = {}
+    order: list[tuple] = []
+    for i, (kind, _payload, params) in enumerate(requests):
+        key = (kind, tuple(sorted(dict(params).items())))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(i)
+
+    for key in order:
+        kind, params = key[0], dict(key[1])
+        idxs = groups[key]
+        if kind == "knn":
+            qs = np.stack([np.asarray(requests[i][1], dtype=np.float64) for i in idxs])
+            d, g = index.knn(
+                qs,
+                params["k"],
+                exclude_self=params.get("exclude_self", False),
+                engine="batched",
+            )
+            for r, i in enumerate(idxs):
+                results[i] = (d[r].copy(), g[r].copy())
+        elif kind == "box":
+            boxes = np.stack(
+                [np.asarray(requests[i][1], dtype=np.float64) for i in idxs]
+            )
+            hits = _range_box_results(index, boxes[:, 0, :], boxes[:, 1, :])
+            for r, i in enumerate(idxs):
+                results[i] = hits[r]
+        elif kind == "ball":
+            centers = np.stack(
+                [np.asarray(requests[i][1][0], dtype=np.float64) for i in idxs]
+            )
+            radii = np.array([float(requests[i][1][1]) for i in idxs])
+            hits = _range_ball_results(index, centers, radii)
+            for r, i in enumerate(idxs):
+                results[i] = hits[r]
+        elif kind == "allnn":
+            if not isinstance(index, KDTree):
+                raise ValueError("allnn requests require a static KDTree dataset")
+            shared = batched_allnn_on_tree(index)
+            for i in idxs:
+                results[i] = shared
+        else:
+            raise ValueError(f"unknown request kind {kind!r}")
     return results
 
 

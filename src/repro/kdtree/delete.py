@@ -39,6 +39,9 @@ def erase(tree: KDTree, point_coords) -> int:
     new_root = _erase_rec(tree, tree.root, q, deleted, get_scheduler())
     tree.root = new_root if new_root is not None else -1
     tree.n_alive -= deleted.count
+    if deleted.count:
+        # the live point set changed: invalidate version-keyed caches
+        tree.version += 1
     return deleted.count
 
 

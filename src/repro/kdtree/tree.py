@@ -100,6 +100,9 @@ class KDTree:
         self.alive = np.ones(n, dtype=bool)
         self.n_alive = n
         self.root = 0 if n > 0 else -1
+        # monotonic mutation counter: bumped whenever the live point set
+        # changes, so result caches keyed on it can never serve stale data
+        self.version = 0
 
         if n > 0:
             self._build()

@@ -44,6 +44,7 @@ from .sort import argsort_parallel, is_sorted, merge_sorted, sample_sort
 from .workdepth import (
     Cost,
     CostTracker,
+    capture,
     charge,
     frame,
     simulated_speedup,
@@ -58,6 +59,7 @@ __all__ = [
     "ReservationArray",
     "Scheduler",
     "argsort_parallel",
+    "capture",
     "charge",
     "count_sort_by_bucket",
     "frame",

@@ -28,6 +28,7 @@ __all__ = [
     "Cost",
     "CostTracker",
     "tracker",
+    "capture",
     "charge",
     "charge_blocked",
     "frame",
@@ -160,6 +161,30 @@ def frame():
 
 def parallel_merge(children: list[Cost], fanout: int | None = None) -> None:
     tracker.merge_parallel(children, fanout)
+
+
+@contextmanager
+def capture(absorb: bool = True):
+    """Capture exactly the cost charged by the enclosed block.
+
+    Pushes a fresh frame on the *current thread's* tracker and yields
+    its :class:`Cost`: on exit it holds precisely the (work, depth) the
+    block charged — a snapshot-and-re-zero around one request.  Because
+    the tracker is thread-local, two threads capturing concurrently can
+    never bleed costs into each other's capture; worker-side costs that
+    the scheduler merges back (``parallel_do`` on the ``threads``
+    backend) land in the frame of the thread that *forked* them, i.e.
+    the right capture.
+
+    With ``absorb=True`` (default) the captured cost is folded serially
+    into the enclosing frame on exit, so outer accounting still sees
+    the work; ``absorb=False`` discards it from the enclosing totals
+    (pure measurement).
+    """
+    with tracker.frame() as c:
+        yield c
+    if absorb:
+        tracker.merge_serial(c)
 
 
 def charge_blocked(works, depths, blocks) -> None:

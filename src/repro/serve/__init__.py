@@ -1,0 +1,64 @@
+"""``repro.serve`` — in-process geometry query service.
+
+The serving layer over the batched query engine (PR 1): single kNN /
+range / allnn requests against registered ``KDTree`` / ``BDLTree``
+indexes are dynamically coalesced into vectorized batches, answered
+through a version-keyed LRU result cache, and protected by bounded-queue
+admission control with typed overload/timeout rejection.  See
+:mod:`repro.serve.service` for the full design notes.
+
+Quickstart::
+
+    from repro import KDTree, dataset
+    from repro.serve import GeometryService
+
+    svc = GeometryService(max_batch=256, max_pending=4096)
+    svc.register("pts", KDTree(dataset("2D-U-10K").coords))
+    d, ids = svc.knn("pts", [50.0, 50.0], k=8)     # single request
+    hits = svc.range_ball("pts", [50.0, 50.0], 5.0)
+    print(svc.snapshot()["hit_rate"])
+"""
+
+from .cache import ResultCache, make_key, query_digest
+from .coalescer import Coalescer, PendingRequest, Ticket
+from .errors import (
+    Overloaded,
+    RequestTimeout,
+    ServeError,
+    ServiceClosed,
+    UnknownDataset,
+)
+from .metrics import RequestMetrics, ServiceStats
+from .service import KINDS, GeometryService
+from .trace import (
+    ReplayReport,
+    load_trace,
+    replay,
+    run_unbatched,
+    save_trace,
+    synthetic_trace,
+)
+
+__all__ = [
+    "Coalescer",
+    "GeometryService",
+    "KINDS",
+    "Overloaded",
+    "PendingRequest",
+    "ReplayReport",
+    "RequestMetrics",
+    "RequestTimeout",
+    "ResultCache",
+    "ServeError",
+    "ServiceClosed",
+    "ServiceStats",
+    "Ticket",
+    "UnknownDataset",
+    "load_trace",
+    "make_key",
+    "query_digest",
+    "replay",
+    "run_unbatched",
+    "save_trace",
+    "synthetic_trace",
+]

@@ -1,0 +1,113 @@
+"""Versioned LRU result cache.
+
+Entries are keyed by ``(dataset, epoch, tree version, kind, params,
+query digest)``:
+
+* the **epoch** increments every time a dataset name is (re)registered,
+  so a fresh index re-using a name can never collide with the old one;
+* the **version** is the index's monotonic mutation counter
+  (:attr:`KDTree.version` / :attr:`BDLTree.version`), bumped on every
+  batch insert/delete — a mutated tree changes every key, so a stale
+  result is structurally unreachable rather than merely expired;
+* the **digest** is a BLAKE2b hash of the canonicalized query payload
+  bytes, so lookups never compare coordinate arrays.
+
+Eviction is plain LRU over a bounded :class:`~collections.OrderedDict`;
+all operations take an internal lock (the service's dispatcher and
+client threads probe it concurrently).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["MISS", "ResultCache", "make_key", "query_digest"]
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss (results may
+#: legitimately be ``None``-like, e.g. empty arrays).
+MISS = object()
+
+
+def query_digest(*parts) -> bytes:
+    """BLAKE2b digest of the canonical bytes of the query payload.
+
+    Arrays are canonicalized to contiguous float64 so that logically
+    equal queries (lists, float32 arrays, non-contiguous views) share a
+    digest; each part's shape is folded in so e.g. (2, d) and (d, 2)
+    payloads cannot alias.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for p in parts:
+        a = np.ascontiguousarray(p, dtype=np.float64)
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.digest()
+
+
+def make_key(
+    dataset: str,
+    epoch: int,
+    version: int,
+    kind: str,
+    params: tuple,
+    digest: bytes,
+) -> tuple:
+    """The full cache key for one request against one index state."""
+    return (dataset, epoch, version, kind, params, digest)
+
+
+class ResultCache:
+    """A thread-safe LRU mapping of cache keys to query results."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._data: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: tuple):
+        """The cached result for ``key``, or :data:`MISS`."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return MISS
+
+    def put(self, key: tuple, value) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "cache_size": len(self._data),
+                "cache_capacity": self.capacity,
+                "cache_evictions": self.evictions,
+            }

@@ -1,0 +1,158 @@
+"""The coalescing queue: where single requests become profitable batches.
+
+Pending requests are grouped by *compatibility key* ``(dataset, kind,
+params)`` — requests in one group can be answered by a single
+vectorized shot through the batched query engine (same tree, same k /
+query kind).  :meth:`Coalescer.take_batch` drains requests for one
+dataset, whole groups at a time in oldest-first order, up to the
+service's ``max_batch``; the slab it returns may therefore mix kinds
+for one dataset, which the heterogeneous entry point
+(:func:`repro.kdtree.batch.execute_requests`) splits back into one
+vectorized dispatch per group.
+
+:class:`Ticket` is the client-side handle: a future-like object the
+dispatcher resolves with a result (plus per-request metrics) or a
+typed error.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from .errors import RequestTimeout
+from .metrics import RequestMetrics
+
+__all__ = ["Coalescer", "PendingRequest", "Ticket"]
+
+
+class Ticket:
+    """A one-shot future for a submitted request.
+
+    ``result()`` blocks until the service resolves the ticket, then
+    returns the query result or raises the typed error the service
+    rejected it with.  ``metrics`` is populated at resolution time.
+    """
+
+    __slots__ = ("_event", "_value", "_error", "metrics")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+        self.metrics: RequestMetrics | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, value, metrics: RequestMetrics | None = None) -> None:
+        self._value = value
+        self.metrics = metrics
+        self._event.set()
+
+    def reject(self, error: BaseException, metrics: RequestMetrics | None = None) -> None:
+        self._error = error
+        self.metrics = metrics
+        self._event.set()
+
+    def result(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise RequestTimeout(timeout if timeout is not None else 0.0)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+@dataclass(eq=False)
+class PendingRequest:
+    """One queued request, normalized and ready to batch."""
+
+    dataset: str
+    kind: str
+    params: tuple
+    payload: object
+    digest: bytes
+    ticket: Ticket
+    enqueued_at: float
+    deadline: float | None = None
+
+    @property
+    def group_key(self) -> tuple:
+        return (self.dataset, self.kind, self.params)
+
+
+@dataclass
+class _Group:
+    requests: deque = field(default_factory=deque)
+
+    @property
+    def oldest(self) -> float:
+        return self.requests[0].enqueued_at
+
+
+class Coalescer:
+    """FIFO-fair grouping queue of pending requests.
+
+    Not internally locked: the owning service serializes access under
+    its own condition variable (the dispatcher needs queue state and
+    wakeups to be coherent, which a second internal lock would not
+    give).
+    """
+
+    def __init__(self) -> None:
+        self._groups: OrderedDict[tuple, _Group] = OrderedDict()
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def add(self, req: PendingRequest) -> None:
+        g = self._groups.get(req.group_key)
+        if g is None:
+            g = self._groups[req.group_key] = _Group()
+        g.requests.append(req)
+        self._n += 1
+
+    def oldest_enqueued(self) -> float | None:
+        """Enqueue time of the oldest pending request (None if empty)."""
+        if not self._groups:
+            return None
+        return min(g.oldest for g in self._groups.values())
+
+    def group_sizes(self) -> dict[tuple, int]:
+        return {k: len(g.requests) for k, g in self._groups.items()}
+
+    def take_batch(self, max_batch: int) -> list[PendingRequest]:
+        """Drain up to ``max_batch`` requests for one dataset.
+
+        The dataset owning the globally oldest request is selected;
+        its groups drain whole-group, oldest-head first, so no group
+        starves and compatible requests stay contiguous.
+        """
+        if not self._groups:
+            return []
+        oldest_key = min(self._groups, key=lambda k: self._groups[k].oldest)
+        dataset = oldest_key[0]
+        keys = sorted(
+            (k for k in self._groups if k[0] == dataset),
+            key=lambda k: self._groups[k].oldest,
+        )
+        out: list[PendingRequest] = []
+        for k in keys:
+            q = self._groups[k].requests
+            while q and len(out) < max_batch:
+                out.append(q.popleft())
+            if not q:
+                del self._groups[k]
+            if len(out) >= max_batch:
+                break
+        self._n -= len(out)
+        return out
+
+    def drain(self) -> list[PendingRequest]:
+        """Remove and return every pending request (service shutdown)."""
+        out = [r for g in self._groups.values() for r in g.requests]
+        self._groups.clear()
+        self._n = 0
+        return out

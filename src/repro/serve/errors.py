@@ -1,0 +1,65 @@
+"""Typed errors of the geometry query service.
+
+Every failure a client can observe is a distinct exception type, so
+callers can branch on overload vs timeout vs misconfiguration instead
+of parsing messages.  ``Overloaded`` in particular is the service's
+backpressure signal: it is raised *synchronously* at submission time
+when the bounded queue is full, which sheds excess load instead of
+letting queue delay degrade every request.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Overloaded",
+    "RequestTimeout",
+    "ServeError",
+    "ServiceClosed",
+    "UnknownDataset",
+]
+
+
+class ServeError(Exception):
+    """Base class for all geometry-service errors."""
+
+
+class UnknownDataset(ServeError, KeyError):
+    """The request names a dataset that is not registered."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return f"no dataset registered under {self.name!r}"
+
+
+class Overloaded(ServeError):
+    """Admission control rejected the request: the pending queue is full.
+
+    Attributes
+    ----------
+    pending:
+        Number of requests queued when the rejection happened.
+    limit:
+        The service's ``max_pending`` bound.
+    """
+
+    def __init__(self, pending: int, limit: int):
+        super().__init__(
+            f"service overloaded: {pending} requests pending (limit {limit})"
+        )
+        self.pending = pending
+        self.limit = limit
+
+
+class RequestTimeout(ServeError):
+    """The request's deadline expired before a result was produced."""
+
+    def __init__(self, waited: float):
+        super().__init__(f"request timed out after {waited:.4g}s")
+        self.waited = waited
+
+
+class ServiceClosed(ServeError):
+    """The service has been closed and accepts no new requests."""

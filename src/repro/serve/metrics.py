@@ -1,0 +1,132 @@
+"""Per-request metrics and the service-wide stats snapshot.
+
+Each resolved :class:`~repro.serve.coalescer.Ticket` carries a
+:class:`RequestMetrics` describing what happened to that one request:
+how long it waited in the coalescing queue, how large a batch it was
+dispatched with, whether it was served from the cache, and the
+work/depth cost the batch execution charged on its behalf (captured
+with :func:`repro.parlay.workdepth.capture`, so costs on the ``threads``
+backend attribute to the right request stream).
+
+:class:`ServiceStats` aggregates the same quantities service-wide; its
+``snapshot()`` is the stable monitoring API.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["RequestMetrics", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """What happened to one request.
+
+    ``queue_wait`` is seconds spent between submission and dispatch (0
+    for submit-time cache hits); ``batch_size`` is the number of unique
+    queries executed in the dispatch this request joined (0 when no
+    execution was needed); ``work``/``depth`` are the request's share of
+    the batch's charged cost — work divides evenly across the batch,
+    depth is the batch's critical path (shared, not divided).
+    """
+
+    queue_wait: float
+    batch_size: int
+    cache_hit: bool
+    work: float
+    depth: float
+
+
+class ServiceStats:
+    """Thread-safe aggregate counters with a dict snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.timeouts = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch = 0
+        self.queue_wait_total = 0.0
+        self.work = 0.0
+        self.depth = 0.0
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_accept(self) -> None:
+        with self._lock:
+            self.accepted += 1
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_hit(self, n: int = 1, completed: int | None = None) -> None:
+        with self._lock:
+            self.cache_hits += n
+            self.completed += completed if completed is not None else n
+
+    def record_timeout(self, n: int = 1) -> None:
+        with self._lock:
+            self.timeouts += n
+
+    def record_batch(
+        self,
+        resolved: int,
+        executed: int,
+        queue_wait: float,
+        work: float,
+        depth: float,
+    ) -> None:
+        """Account one dispatch: ``resolved`` tickets were completed, of
+        which ``executed`` unique queries actually ran."""
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += resolved
+            self.max_batch = max(self.max_batch, resolved)
+            self.completed += resolved
+            self.cache_misses += executed
+            # duplicate / already-cached riders count as hits: they were
+            # served without their own execution
+            self.cache_hits += max(resolved - executed, 0)
+            self.queue_wait_total += queue_wait
+            self.work += work
+            self.depth += depth
+
+    def snapshot(self) -> dict:
+        """A point-in-time dict of every counter plus derived rates."""
+        with self._lock:
+            looked_up = self.cache_hits + self.cache_misses
+            out = {
+                "submitted": self.submitted,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "timeouts": self.timeouts,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "hit_rate": self.cache_hits / looked_up if looked_up else 0.0,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "avg_batch_size": (
+                    self.batched_requests / self.batches if self.batches else 0.0
+                ),
+                "max_batch_size": self.max_batch,
+                "avg_queue_wait_s": (
+                    self.queue_wait_total / self.batched_requests
+                    if self.batched_requests
+                    else 0.0
+                ),
+                "work_charged": self.work,
+                "depth_charged": self.depth,
+            }
+        return out

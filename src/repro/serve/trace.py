@@ -1,0 +1,271 @@
+"""Request traces: generation, (de)serialization, and replay.
+
+A trace is a list of op dicts, one request per line when stored as
+JSONL:
+
+* ``{"op": "knn",  "q": [x, ...], "k": 8}``
+* ``{"op": "ball", "c": [x, ...], "r": 0.5}``
+* ``{"op": "box",  "lo": [x, ...], "hi": [x, ...]}``
+* ``{"op": "allnn"}``
+* ``{"op": "insert", "pts": [[...], ...]}`` / ``{"op": "erase", "pts":
+  [[...], ...]}`` — mutation batches, applied to the registered index
+  (BDLTree) between queries; pending queries are flushed first so the
+  replay is deterministic.
+
+:func:`replay` feeds a trace through a :class:`GeometryService`
+(dynamic batching + cache), while :func:`run_unbatched` is the
+one-request-at-a-time recursive-engine loop the service is benchmarked
+against; both produce results in the same convention (global ids), so
+replays can be checked for bitwise equality.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import Overloaded
+from .service import GeometryService
+
+__all__ = [
+    "ReplayReport",
+    "load_trace",
+    "replay",
+    "run_unbatched",
+    "save_trace",
+    "synthetic_trace",
+]
+
+
+def synthetic_trace(
+    points,
+    n_requests: int,
+    *,
+    kinds: tuple[str, ...] = ("knn", "ball", "box"),
+    k: int = 8,
+    repeat_frac: float = 0.0,
+    extent_frac: float = 0.05,
+    seed: int = 0,
+) -> list[dict]:
+    """A mixed query trace shaped like traffic against ``points``.
+
+    Query locations are dataset points with a little jitter; ranges
+    cover ``extent_frac`` of the bounding box per side.  A
+    ``repeat_frac`` fraction of requests repeats an earlier request
+    verbatim (the cache-hit population of real traffic).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or len(pts) == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    rng = np.random.default_rng(seed)
+    lo, hi = pts.min(axis=0), pts.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    trace: list[dict] = []
+    for _ in range(n_requests):
+        if trace and rng.random() < repeat_frac:
+            trace.append(dict(trace[rng.integers(len(trace))]))
+            continue
+        kind = kinds[rng.integers(len(kinds))]
+        base = pts[rng.integers(len(pts))] + rng.normal(0, 0.01, pts.shape[1]) * span
+        if kind == "knn":
+            trace.append({"op": "knn", "q": base.tolist(), "k": k})
+        elif kind == "ball":
+            r = float(extent_frac * rng.uniform(0.5, 1.5) * span.max())
+            trace.append({"op": "ball", "c": base.tolist(), "r": r})
+        elif kind == "box":
+            half = extent_frac * rng.uniform(0.5, 1.5, pts.shape[1]) * span / 2
+            trace.append(
+                {"op": "box", "lo": (base - half).tolist(), "hi": (base + half).tolist()}
+            )
+        elif kind == "allnn":
+            trace.append({"op": "allnn"})
+        else:
+            raise ValueError(f"unknown trace kind {kind!r}")
+    return trace
+
+
+def save_trace(path: str | os.PathLike, trace: list[dict]) -> None:
+    """Write a trace as JSON lines."""
+    with open(os.fspath(path), "w") as f:
+        for op in trace:
+            f.write(json.dumps(op) + "\n")
+
+
+def load_trace(path: str | os.PathLike) -> list[dict]:
+    """Read a JSONL trace written by :func:`save_trace` (or by hand)."""
+    trace = []
+    with open(os.fspath(path)) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                trace.append(json.loads(line))
+    return trace
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one trace through a service."""
+
+    n_requests: int
+    completed: int
+    rejected: int
+    errors: int
+    seconds: float
+    results: list = field(repr=False, default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.seconds if self.seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        s = self.stats
+        return (
+            f"{self.completed}/{self.n_requests} requests in "
+            f"{self.seconds:.3f}s ({self.throughput:,.0f} req/s) | "
+            f"hit-rate {s.get('hit_rate', 0.0):.1%} | "
+            f"avg batch {s.get('avg_batch_size', 0.0):.1f} "
+            f"(max {s.get('max_batch_size', 0)}) | "
+            f"rejected {self.rejected}, timeouts {s.get('timeouts', 0)}, "
+            f"errors {self.errors}"
+        )
+
+
+#: placeholder ticket for mutation ops so replay results align with the trace
+_MUTATION = object()
+
+
+def _submit_op(service: GeometryService, dataset: str, op: dict, timeout):
+    kind = op["op"]
+    if kind == "knn":
+        return service.submit(dataset, "knn", op["q"], k=int(op["k"]),
+                              exclude_self=bool(op.get("exclude_self", False)),
+                              timeout=timeout)
+    if kind == "ball":
+        return service.submit(dataset, "ball", op["c"], radius=float(op["r"]),
+                              timeout=timeout)
+    if kind == "box":
+        return service.submit(dataset, "box", (op["lo"], op["hi"]), timeout=timeout)
+    if kind == "allnn":
+        return service.submit(dataset, "allnn", timeout=timeout)
+    raise ValueError(f"unknown trace op {kind!r}")
+
+
+def replay(
+    service: GeometryService,
+    dataset: str,
+    trace: list[dict],
+    *,
+    timeout: float | None = None,
+) -> ReplayReport:
+    """Feed a trace through the service; returns results + throughput.
+
+    Without a background dispatcher, submission overload triggers an
+    inline :meth:`~GeometryService.flush` and one retry (client-side
+    backoff); with a dispatcher running, overloads simply count as
+    shed.  Mutation ops flush pending queries first, then apply to the
+    registered index directly.
+    """
+    tickets: list = []
+    rejected = 0
+    manual = service._thread is None
+    t0 = time.perf_counter()
+    for op in trace:
+        if op["op"] in ("insert", "erase"):
+            if manual:
+                service.flush()
+            index = service.index(dataset)
+            pts = np.asarray(op["pts"], dtype=np.float64)
+            if op["op"] == "insert":
+                index.insert(pts)
+            else:
+                index.erase(pts)
+            tickets.append(_MUTATION)
+            continue
+        try:
+            tickets.append(_submit_op(service, dataset, op, timeout))
+        except Overloaded:
+            if manual:
+                service.flush()
+                try:
+                    tickets.append(_submit_op(service, dataset, op, timeout))
+                    continue
+                except Overloaded:
+                    pass
+            rejected += 1
+            tickets.append(None)
+    if manual:
+        service.flush()
+    results = []
+    errors = 0
+    completed = 0
+    n_queries = 0
+    for t in tickets:
+        if t is _MUTATION:
+            results.append(None)
+            continue
+        n_queries += 1
+        if t is None:
+            results.append(None)
+            continue
+        try:
+            results.append(t.result(timeout))
+            completed += 1
+        except Exception:
+            errors += 1
+            results.append(None)
+    seconds = time.perf_counter() - t0
+    return ReplayReport(
+        n_requests=n_queries,
+        completed=completed,
+        rejected=rejected,
+        errors=errors,
+        seconds=seconds,
+        results=results,
+        stats=service.snapshot(),
+    )
+
+
+def run_unbatched(index, trace: list[dict]) -> list:
+    """The baseline the service is measured against: one recursive-engine
+    query per request, no batching, no cache.
+
+    Results use the service's conventions (global ids; (sq-dists, ids)
+    rows for kNN), so they compare bitwise against a replay's results.
+    """
+    from ..kdtree.batch import batched_allnn_on_tree
+    from ..kdtree.tree import KDTree
+
+    is_kd = isinstance(index, KDTree)
+    out = []
+    for op in trace:
+        kind = op["op"]
+        if kind == "knn":
+            q = np.asarray(op["q"], dtype=np.float64)[None, :]
+            d, g = index.knn(q, int(op["k"]),
+                             exclude_self=bool(op.get("exclude_self", False)),
+                             engine="recursive")
+            out.append((d[0], g[0]))
+        elif kind == "ball":
+            c = np.asarray(op["c"], dtype=np.float64)
+            ids = index.range_query_ball(c, float(op["r"]))
+            out.append(index.gids[ids] if is_kd else ids)
+        elif kind == "box":
+            ids = index.range_query_box(np.asarray(op["lo"], dtype=np.float64),
+                                        np.asarray(op["hi"], dtype=np.float64))
+            out.append(index.gids[ids] if is_kd else ids)
+        elif kind == "allnn":
+            out.append(batched_allnn_on_tree(index))
+        elif kind == "insert":
+            index.insert(np.asarray(op["pts"], dtype=np.float64))
+            out.append(None)
+        elif kind == "erase":
+            index.erase(np.asarray(op["pts"], dtype=np.float64))
+            out.append(None)
+        else:
+            raise ValueError(f"unknown trace op {kind!r}")
+    return out

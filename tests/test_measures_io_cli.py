@@ -79,6 +79,16 @@ class TestIO:
         with pytest.raises(ValueError):
             save_points(tmp_path / "pts.xyz", rng.normal(size=(3, 2)))
 
+    def test_load_unknown_extension_names_supported_formats(self, tmp_path):
+        path = tmp_path / "pts.parquet"
+        path.write_text("not points")
+        with pytest.raises(ValueError) as ei:
+            load_points(path)
+        msg = str(ei.value)
+        assert ".parquet" in msg
+        for ext in (".npy", ".csv", ".pbbs"):
+            assert ext in msg
+
 
 class TestCLI:
     def _run(self, *argv):
@@ -132,6 +142,35 @@ class TestCLI:
         assert self._run("cluster", f, "--eps", "1.0", "-o", labels) == 0
         lab = np.loadtxt(labels)
         assert len(lab) == 400
+
+    def test_bad_input_exits_2_with_message(self, tmp_path, capsys):
+        bad = tmp_path / "pts.parquet"
+        bad.write_text("nope")
+        for cmd in (["hull", str(bad)], ["knn", str(bad)], ["seb", str(bad)]):
+            with pytest.raises(SystemExit) as ei:
+                self._run(*cmd)
+            assert ei.value.code == 2
+            err = capsys.readouterr().err
+            assert err.startswith("error:") and ".npy" in err
+
+    def test_missing_input_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as ei:
+            self._run("hull", str(tmp_path / "missing.npy"))
+        assert ei.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_replay(self, tmp_path, capsys):
+        f = str(tmp_path / "p.npy")
+        self._run("generate", "2D-U-500", "-o", f)
+        trace = str(tmp_path / "trace.jsonl")
+        assert self._run("serve-replay", f, "--synthetic", "60",
+                         "--repeat-frac", "0.3", "--save-trace", trace,
+                         "--compare") == 0
+        out = capsys.readouterr().out
+        assert "hit-rate" in out and "faster" in out
+        # replaying the saved trace gives the same request count
+        assert self._run("serve-replay", f, "--trace", trace, "--dynamic") == 0
+        assert "60/60 requests" in capsys.readouterr().out
 
 
 class TestRNGGraph:

@@ -1,0 +1,481 @@
+"""Tests for repro.serve: coalescing, caching, versioning, backpressure."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdl import BDLTree
+from repro.kdtree import KDTree, all_nearest_neighbors, knn
+from repro.serve import (
+    Coalescer,
+    GeometryService,
+    Overloaded,
+    PendingRequest,
+    RequestTimeout,
+    ResultCache,
+    ServiceClosed,
+    Ticket,
+    UnknownDataset,
+    load_trace,
+    make_key,
+    query_digest,
+    replay,
+    run_unbatched,
+    save_trace,
+    synthetic_trace,
+)
+from repro.serve.cache import MISS
+
+
+def _pts(n=200, d=2, seed=0):
+    return np.random.default_rng(seed).uniform(0, 100, (n, d))
+
+
+def _service(index, name="data", **kw):
+    kw.setdefault("max_batch", 64)
+    svc = GeometryService(**kw)
+    svc.register(name, index)
+    return svc
+
+
+def _results_equal(a, b):
+    if isinstance(a, tuple):
+        return np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+    return np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# bitwise identity vs per-request recursive queries
+# ----------------------------------------------------------------------
+class TestIdentity:
+    def test_knn_matches_recursive_kdtree(self):
+        pts = _pts(300)
+        tree = KDTree(pts)
+        svc = _service(tree)
+        qs = pts[:25] + 0.001
+        tickets = [svc.submit("data", "knn", q, k=5) for q in qs]
+        svc.flush()
+        dr, ir = knn(tree, qs, 5, engine="recursive")
+        for j, t in enumerate(tickets):
+            d, i = t.result(0)
+            assert np.array_equal(d, dr[j])
+            assert np.array_equal(i, ir[j])
+
+    def test_knn_matches_recursive_bdl(self):
+        pts = _pts(300)
+        bdl = BDLTree(dim=2, buffer_size=32)
+        bdl.insert(pts)
+        svc = _service(bdl)
+        qs = pts[:20]
+        tickets = [svc.submit("data", "knn", q, k=4) for q in qs]
+        svc.flush()
+        dr, ir = bdl.knn(qs, 4, engine="recursive")
+        for j, t in enumerate(tickets):
+            d, i = t.result(0)
+            assert np.array_equal(d, dr[j]) and np.array_equal(i, ir[j])
+
+    @pytest.mark.parametrize("dynamic", [False, True])
+    def test_range_queries_match_single(self, dynamic):
+        pts = _pts(400, d=3, seed=1)
+        if dynamic:
+            index = BDLTree(dim=3, buffer_size=64)
+            index.insert(pts)
+        else:
+            index = KDTree(pts)
+        svc = _service(index)
+        centers = pts[:15]
+        box_t = [svc.submit("data", "box", (c - 5, c + 5)) for c in centers]
+        ball_t = [svc.submit("data", "ball", c, radius=7.5) for c in centers]
+        svc.flush()
+        for j, c in enumerate(centers):
+            got_box = box_t[j].result(0)
+            got_ball = ball_t[j].result(0)
+            want_box = index.range_query_box(c - 5, c + 5)
+            want_ball = index.range_query_ball(c, 7.5)
+            if not dynamic:
+                want_box = index.gids[want_box]
+                want_ball = index.gids[want_ball]
+            assert np.array_equal(got_box, want_box)
+            assert np.array_equal(got_ball, want_ball)
+
+    def test_allnn_matches_recursive(self):
+        pts = _pts(150, seed=2)
+        svc = _service(KDTree(pts))
+        d, i = svc.allnn("data")
+        dr, ir = all_nearest_neighbors(pts, engine="recursive")
+        assert np.allclose(d, dr) and np.array_equal(i, ir)
+
+    def test_exclude_self_param_distinguished(self):
+        pts = _pts(100, seed=3)
+        tree = KDTree(pts)
+        svc = _service(tree)
+        d_in, i_in = svc.knn("data", pts[0], 3, exclude_self=False)
+        d_ex, i_ex = svc.knn("data", pts[0], 3, exclude_self=True)
+        assert i_in[0] == 0 and i_ex[0] != 0
+        # both cached under distinct keys: repeat hits don't cross over
+        d2, i2 = svc.knn("data", pts[0], 3, exclude_self=False)
+        assert np.array_equal(i2, i_in) and np.array_equal(d2, d_in)
+
+
+# ----------------------------------------------------------------------
+# coalescing behaviour + metrics
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_compatible_requests_join_one_batch(self):
+        pts = _pts(200)
+        svc = _service(KDTree(pts), max_batch=64)
+        tickets = [svc.submit("data", "knn", pts[j], k=3) for j in range(10)]
+        svc.flush()
+        for t in tickets:
+            t.result(0)
+            assert t.metrics.batch_size == 10
+            assert not t.metrics.cache_hit
+            assert t.metrics.work > 0
+        snap = svc.snapshot()
+        assert snap["batches"] == 1
+        assert snap["max_batch_size"] == 10
+
+    def test_mixed_kinds_single_flush(self):
+        pts = _pts(200)
+        svc = _service(KDTree(pts), max_batch=64)
+        svc.submit("data", "knn", pts[0], k=3)
+        svc.submit("data", "knn", pts[1], k=5)          # different k: own group
+        svc.submit("data", "ball", pts[2], radius=4.0)
+        svc.submit("data", "box", (pts[3] - 1, pts[3] + 1))
+        assert svc.pending() == 4
+        served = svc.flush()
+        assert served == 4 and svc.pending() == 0
+        assert svc.snapshot()["batches"] == 1  # one coalesced dispatch
+
+    def test_max_batch_splits_dispatches(self):
+        pts = _pts(100)
+        svc = _service(KDTree(pts), max_batch=8)
+        for j in range(20):
+            svc.submit("data", "knn", pts[j], k=2)
+        svc.flush()
+        snap = svc.snapshot()
+        assert snap["batches"] == 3  # 8 + 8 + 4
+        assert snap["max_batch_size"] <= 8
+
+    def test_duplicate_requests_share_execution(self):
+        pts = _pts(100)
+        svc = _service(KDTree(pts), cache_capacity=0)  # no cache: dedup only
+        t1 = svc.submit("data", "knn", pts[0], k=3)
+        t2 = svc.submit("data", "knn", pts[0], k=3)
+        svc.flush()
+        r1, r2 = t1.result(0), t2.result(0)
+        assert _results_equal(r1, r2)
+        # both resolved by a single execution of one unique request
+        assert t1.metrics.batch_size == 1 and t2.metrics.batch_size == 1
+
+    def test_coalescer_takes_oldest_dataset_first(self):
+        c = Coalescer()
+
+        def req(ds, j):
+            return PendingRequest(
+                dataset=ds, kind="knn", params=(("k", 1),), payload=None,
+                digest=bytes([j]), ticket=Ticket(), enqueued_at=float(j),
+                deadline=None,
+            )
+
+        c.add(req("b", 0))
+        c.add(req("a", 1))
+        c.add(req("b", 2))
+        batch = c.take_batch(10)
+        assert [r.dataset for r in batch] == ["b", "b"]
+        assert len(c) == 1
+        assert [r.dataset for r in c.take_batch(10)] == ["a"]
+
+
+# ----------------------------------------------------------------------
+# cache: hits, versioning, epochs
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_repeat_hits_cache(self):
+        pts = _pts(200)
+        svc = _service(KDTree(pts))
+        first = svc.knn("data", pts[5], 4)
+        t = svc.submit("data", "knn", pts[5], k=4)
+        assert t.done() and t.metrics.cache_hit  # resolved at submit
+        assert t.metrics.queue_wait == 0.0
+        assert _results_equal(t.result(0), first)
+        assert svc.snapshot()["cache_hits"] == 1
+
+    def test_mutation_invalidates_via_version(self):
+        pts = _pts(300, seed=4)
+        bdl = BDLTree(dim=2, buffer_size=32)
+        bdl.insert(pts[:150])
+        svc = _service(bdl)
+        q = pts[0]
+        svc.knn("data", q, 3)
+        v0 = bdl.version
+        bdl.insert(pts[150:])  # service-external mutation
+        assert bdl.version == v0 + 1
+        t = svc.submit("data", "knn", q, k=3)
+        assert not t.done()  # old cache entry unreachable under new version
+        svc.flush()
+        d, i = t.result(0)
+        dr, ir = bdl.knn(q[None, :], 3, engine="recursive")
+        assert np.array_equal(d, dr[0]) and np.array_equal(i, ir[0])
+
+    def test_erase_bumps_kdtree_version(self):
+        pts = _pts(200, seed=5)
+        tree = KDTree(pts)
+        svc = _service(tree)
+        v0 = tree.version
+        ids1 = svc.range_ball("data", pts[0], 10.0)
+        tree.erase(pts[:20])
+        assert tree.version == v0 + 1
+        ids2 = svc.range_ball("data", pts[0], 10.0)
+        want = tree.gids[tree.range_query_ball(pts[0], 10.0)]
+        assert np.array_equal(ids2, want)
+        assert not np.array_equal(ids1, ids2) or len(ids1) == len(ids2)
+
+    def test_reregistration_epoch_prevents_collisions(self):
+        pts_a = _pts(100, seed=6)
+        pts_b = _pts(100, seed=7)
+        svc = GeometryService(max_batch=32)
+        svc.register("data", KDTree(pts_a))
+        da, ia = svc.knn("data", pts_a[0], 3)
+        svc.register("data", KDTree(pts_b))  # same name, same version=0
+        db, ib = svc.knn("data", pts_a[0], 3)
+        want_d, want_i = knn(KDTree(pts_b), pts_a[0][None, :], 3, engine="recursive")
+        assert np.array_equal(db, want_d[0]) and np.array_equal(ib, want_i[0])
+
+    def test_lru_eviction_bounded(self):
+        pts = _pts(200, seed=8)
+        svc = _service(KDTree(pts), cache_capacity=4)
+        for j in range(12):
+            svc.knn("data", pts[j], 2)
+        snap = svc.snapshot()
+        assert snap["cache_size"] <= 4
+        assert snap["cache_evictions"] >= 8
+
+    def test_result_cache_unit(self):
+        c = ResultCache(2)
+        k1 = make_key("d", 0, 0, "knn", (("k", 1),), b"a")
+        k2 = make_key("d", 0, 0, "knn", (("k", 1),), b"b")
+        k3 = make_key("d", 0, 1, "knn", (("k", 1),), b"a")  # new version
+        assert k1 != k3
+        c.put(k1, "r1")
+        c.put(k2, "r2")
+        assert c.get(k1) == "r1"
+        c.put(k3, "r3")  # evicts k2 (k1 was just touched)
+        assert c.get(k2) is MISS
+        assert c.get(k1) == "r1" and c.get(k3) == "r3"
+
+    def test_query_digest_distinguishes_shape_and_value(self):
+        a = np.array([1.0, 2.0])
+        assert query_digest(a) != query_digest(np.array([1.0, 2.5]))
+        assert query_digest(np.array([[1.0, 2.0]])) != query_digest(a)
+
+
+# ----------------------------------------------------------------------
+# backpressure, timeouts, errors
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_overload_typed_rejection_10x(self):
+        pts = _pts(100, seed=9)
+        svc = _service(KDTree(pts), max_pending=20, cache_capacity=0)
+        accepted, rejected = 0, 0
+        for j in range(200):  # 10x oversubscription
+            try:
+                svc.submit("data", "knn", pts[j % 100] + j * 1e-6, k=2)
+                accepted += 1
+            except Overloaded as e:
+                rejected += 1
+                assert e.pending == 20 and e.limit == 20
+        assert accepted == 20 and rejected == 180
+        assert svc.pending() == 20  # queue stays bounded
+        snap = svc.snapshot()
+        assert snap["rejected"] == 180
+        svc.flush()
+        assert svc.pending() == 0
+
+    def test_expired_deadline_rejected_at_dispatch(self):
+        pts = _pts(100, seed=10)
+        svc = _service(KDTree(pts))
+        t = svc.submit("data", "knn", pts[0], k=2, timeout=0.005)
+        time.sleep(0.02)
+        svc.flush()
+        with pytest.raises(RequestTimeout):
+            t.result(0)
+        assert svc.snapshot()["timeouts"] == 1
+
+    def test_result_wait_timeout(self):
+        pts = _pts(100, seed=11)
+        svc = _service(KDTree(pts))
+        t = svc.submit("data", "knn", pts[0], k=2)  # never flushed
+        with pytest.raises(RequestTimeout):
+            t.result(0.01)
+
+    def test_unknown_dataset_and_bad_requests(self):
+        pts = _pts(50, seed=12)
+        svc = _service(KDTree(pts))
+        with pytest.raises(UnknownDataset):
+            svc.submit("nope", "knn", pts[0], k=2)
+        with pytest.raises(ValueError):
+            svc.submit("data", "knn", pts[0])  # missing k
+        with pytest.raises(ValueError):
+            svc.submit("data", "ball", pts[0])  # missing radius
+        with pytest.raises(ValueError):
+            svc.submit("data", "warp", pts[0])
+        with pytest.raises(ValueError):
+            svc.submit("data", "knn", pts[0][:1], k=2)  # wrong dim
+        with pytest.raises(TypeError):
+            svc.register("bad", object())
+
+    def test_closed_service_refuses(self):
+        pts = _pts(50, seed=13)
+        svc = _service(KDTree(pts))
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit("data", "knn", pts[0], k=2)
+
+
+# ----------------------------------------------------------------------
+# background dispatcher
+# ----------------------------------------------------------------------
+class TestDispatcher:
+    def test_threaded_dispatch_resolves(self):
+        pts = _pts(200, seed=14)
+        tree = KDTree(pts)
+        with _service(tree, max_wait=0.001).start() as svc:
+            d, i = svc.knn("data", pts[3], 4, timeout=5.0)
+            dr, ir = knn(tree, pts[3][None, :], 4, engine="recursive")
+            assert np.array_equal(d, dr[0]) and np.array_equal(i, ir[0])
+
+    def test_concurrent_clients_identical_results(self):
+        pts = _pts(300, seed=15)
+        tree = KDTree(pts)
+        dr, ir = knn(tree, pts[:40], 3, engine="recursive")
+        svc = _service(tree, max_wait=0.001).start()
+        errors = []
+
+        def client(lo, hi):
+            try:
+                for j in range(lo, hi):
+                    d, i = svc.knn("data", pts[j], 3, timeout=10.0)
+                    assert np.array_equal(d, dr[j]) and np.array_equal(i, ir[j])
+            except Exception as e:  # pragma: no cover
+                errors.append(e)
+
+        threads = [threading.Thread(target=client, args=(j * 10, (j + 1) * 10))
+                   for j in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        svc.stop()
+        assert not errors
+        assert svc.snapshot()["completed"] == 40
+
+    def test_stop_drains_pending(self):
+        pts = _pts(100, seed=16)
+        svc = _service(KDTree(pts), max_wait=0.05)
+        tickets = [svc.submit("data", "knn", pts[j], k=2) for j in range(5)]
+        svc.start()
+        svc.stop()
+        for t in tickets:
+            t.result(1.0)
+
+
+# ----------------------------------------------------------------------
+# traces & replay
+# ----------------------------------------------------------------------
+class TestTrace:
+    def test_save_load_roundtrip(self, tmp_path):
+        pts = _pts(100, seed=17)
+        trace = synthetic_trace(pts, 50, repeat_frac=0.2, seed=1)
+        p = tmp_path / "trace.jsonl"
+        save_trace(p, trace)
+        assert load_trace(p) == trace
+
+    def test_replay_matches_unbatched(self):
+        pts = _pts(250, seed=18)
+        trace = synthetic_trace(pts, 120, kinds=("knn", "ball", "box", "allnn"),
+                                repeat_frac=0.3, seed=2)
+        svc = _service(KDTree(pts), max_batch=128, max_pending=512,
+                       cache_capacity=512)
+        report = replay(svc, "data", trace)
+        assert report.completed == len(trace) and report.errors == 0
+        baseline = run_unbatched(KDTree(pts), trace)
+        for a, b in zip(report.results, baseline):
+            assert _results_equal(a, b)
+        assert report.throughput > 0
+        assert "hit-rate" in report.summary()
+
+    def test_replay_with_mutations_matches_unbatched(self):
+        rng = np.random.default_rng(19)
+        pts = rng.uniform(0, 100, (200, 2))
+        extra = rng.uniform(0, 100, (60, 2))
+        trace = synthetic_trace(pts, 40, kinds=("knn", "ball"), seed=3)
+        trace.insert(10, {"op": "insert", "pts": extra[:30].tolist()})
+        trace.insert(25, {"op": "erase", "pts": pts[:20].tolist()})
+        trace.insert(30, {"op": "insert", "pts": extra[30:].tolist()})
+
+        def build():
+            b = BDLTree(dim=2, buffer_size=32)
+            b.insert(pts)
+            return b
+
+        svc = GeometryService(max_batch=64, max_pending=512)
+        svc.register("data", build())
+        report = replay(svc, "data", trace)
+        baseline = run_unbatched(build(), trace)
+        assert report.errors == 0
+        for a, b in zip(report.results, baseline):
+            if a is None:
+                assert b is None  # mutation ops
+                continue
+            assert _results_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# property test: cached answers never go stale across BDL mutations
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "erase", "query"]),
+                  st.integers(0, 10**6)),
+        min_size=3, max_size=12,
+    ),
+    seed=st.integers(0, 10**6),
+)
+def test_cache_never_stale_under_interleaved_mutations(ops, seed):
+    """After any interleaving of batch inserts/deletes, a (possibly
+    cached) service kNN answer always matches a fresh recursive query
+    against the current tree."""
+    rng = np.random.default_rng(seed)
+    pool = rng.uniform(0, 100, (400, 2))
+    inserted = 0
+
+    bdl = BDLTree(dim=2, buffer_size=16)
+    bdl.insert(pool[:64])
+    inserted = 64
+    svc = GeometryService(max_batch=64, cache_capacity=256)
+    svc.register("data", bdl)
+    queries = pool[:8]  # fixed query points -> repeats exercise the cache
+
+    for op, x in ops:
+        if op == "insert" and inserted < len(pool):
+            m = min(1 + x % 32, len(pool) - inserted)
+            bdl.insert(pool[inserted:inserted + m])
+            inserted += m
+        elif op == "erase" and len(bdl) > 8:
+            alive_before = len(bdl)
+            m = 1 + x % min(16, alive_before - 4)
+            # erase a slice of points known to be present
+            start = x % max(inserted - m, 1)
+            bdl.erase(pool[start:start + m])
+        q = queries[x % len(queries)]
+        k = min(3, len(bdl))
+        d, i = svc.knn("data", q, k)
+        dr, ir = bdl.knn(q[None, :], k, engine="recursive")
+        assert np.array_equal(d, dr[0]), "stale cached distances"
+        assert np.array_equal(i, ir[0]), "stale cached neighbors"

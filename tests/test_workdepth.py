@@ -1,9 +1,12 @@
 """Tests for the work-depth cost model (the speedup simulator)."""
 
+import threading
+
 import pytest
 
 from repro.parlay.workdepth import (
     Cost,
+    capture,
     charge,
     frame,
     parallel_merge,
@@ -58,6 +61,69 @@ class TestTracker:
     def test_parallel_merge_empty_noop(self):
         tracker.reset()
         parallel_merge([])
+        assert tracker.total().work == 0
+
+
+class TestCapture:
+    def test_capture_exact_cost(self):
+        tracker.reset()
+        with capture() as c:
+            charge(100, 7)
+            charge(20, 3)
+        assert c.work == 120 and c.depth == 10
+
+    def test_capture_absorbs_into_parent(self):
+        tracker.reset()
+        charge(5, 1)
+        with capture() as c:
+            charge(100, 7)
+        assert c.work == 100
+        assert tracker.total().work == 105  # outer accounting still sees it
+
+    def test_capture_no_absorb_discards(self):
+        tracker.reset()
+        with capture(absorb=False) as c:
+            charge(100, 7)
+        assert c.work == 100
+        assert tracker.total().work == 0
+
+    def test_nested_captures(self):
+        tracker.reset()
+        with capture() as outer:
+            charge(10, 1)
+            with capture() as inner:
+                charge(100, 5)
+        assert inner.work == 100 and inner.depth == 5
+        assert outer.work == 110 and outer.depth == 6
+        assert tracker.total().work == 110
+
+    def test_concurrent_threads_never_bleed(self):
+        """Two threads charging concurrently each capture only their own
+        costs — the tracker is thread-local (regression guard for
+        per-request cost attribution in repro.serve)."""
+        tracker.reset()
+        barrier = threading.Barrier(2)
+        captured = {}
+        errors = []
+
+        def worker(name, work_unit, rounds):
+            try:
+                with capture(absorb=False) as c:
+                    barrier.wait(timeout=10)
+                    for _ in range(rounds):
+                        charge(work_unit, 1)
+                captured[name] = c.copy()
+            except Exception as e:  # pragma: no cover
+                errors.append(e)
+
+        t1 = threading.Thread(target=worker, args=("a", 3, 1000))
+        t2 = threading.Thread(target=worker, args=("b", 7, 1000))
+        t1.start(); t2.start()
+        t1.join(); t2.join()
+        assert not errors
+        assert captured["a"].work == 3 * 1000 and captured["a"].depth == 1000
+        assert captured["b"].work == 7 * 1000 and captured["b"].depth == 1000
+        # main thread's tracker untouched by either worker
         assert tracker.total().work == 0
 
 
