@@ -14,6 +14,14 @@ Service gate: replays a 10k-request mixed kNN/range trace through
 throughput >= 5x the one-request-at-a-time recursive loop, plus a cache
 hit-rate >= 50% on a repeated trace.  Results land in
 ``BENCH_serve.json``.
+
+Observability gate: on the 50k self-kNN workload, span tracing must
+cost <= 5% when disabled (estimated from the per-scope disabled-path
+overhead times the number of instrumented scopes the traced run
+recorded) and <= 2x wall-clock when enabled; the exported Chrome trace
+must pass the trace-event schema check and its per-span work/depth
+totals must reconcile with the ``CostTracker``'s.  Results land in
+``BENCH_obs.json``.
 """
 
 import json
@@ -39,8 +47,12 @@ SERVE_REQUESTS = bench_scale(10_000)   # trace length
 MIN_SERVE_RATIO = 5.0
 MIN_HIT_RATE = 0.5
 
+MAX_TRACING_DISABLED_OVERHEAD = 0.05   # estimated, vs untraced wall-clock
+MAX_TRACING_ENABLED_RATIO = 2.0        # traced vs untraced wall-clock
+
 _records: dict[str, dict] = {}
 _serve_records: dict[str, dict] = {}
+_obs_records: dict[str, dict] = {}
 
 
 def _bench(benchmark, ds_name: str):
@@ -159,6 +171,90 @@ def test_serve_cache_hit_rate(benchmark):
     run_once(benchmark, lambda: None)
 
 
+def test_obs_tracing_overhead(benchmark, tmp_path):
+    """Tracing must be ~free when off and cheap (< 2x) when on."""
+    from repro.obs import totals, trace, validate_chrome_trace, write_chrome_trace
+    from repro.obs.span import span
+    from repro.parlay.workdepth import tracker
+
+    pts = data(f"2D-U-{N}")
+    tree = KDTree(pts)
+    repeats = 3
+
+    def run():
+        return knn(tree, pts, K, exclude_self=True, engine="batched")
+
+    # untraced wall-clock (the tracer hook is a global load + None check)
+    t_off = float("inf")
+    for _ in range(repeats):
+        tracker.reset()
+        t0 = time.perf_counter()
+        run()
+        t_off = min(t_off, time.perf_counter() - t0)
+    cost_off = tracker.total()
+
+    # traced wall-clock + the recorded span tree
+    t_on = float("inf")
+    spans = []
+    for _ in range(repeats):
+        tracker.reset()
+        t0 = time.perf_counter()
+        with trace("bench.knn") as rec:
+            run()
+        dt = time.perf_counter() - t0
+        if dt < t_on:
+            t_on, spans = dt, rec.spans()
+    cost_on = tracker.total()
+
+    # tracing must not change the charges at all
+    assert cost_on.work == cost_off.work and cost_on.depth == cost_off.depth
+
+    # the exported trace is schema-valid and reconciles with the tracker
+    trace_path = tmp_path / "bench.trace.json"
+    obj = write_chrome_trace(trace_path, spans, workers=36)
+    assert validate_chrome_trace(obj) == []
+    W, D = totals(spans)
+    assert W == cost_on.work and D == cost_on.depth
+
+    # disabled overhead: measured per-scope no-op cost x scopes this
+    # workload instruments (the traced run's span count, minus the
+    # bench-only root), as a fraction of the untraced wall-clock
+    probes = 100_000
+    t0 = time.perf_counter()
+    for _ in range(probes):
+        with span("probe"):
+            pass
+    per_scope = (time.perf_counter() - t0) / probes
+    est_disabled = per_scope * max(len(spans) - 1, 0)
+    disabled_frac = est_disabled / t_off if t_off > 0 else 0.0
+
+    enabled_ratio = t_on / t_off if t_off > 0 else 1.0
+    _obs_records["knn_50k"] = {
+        "n": N, "k": K, "engine": "batched",
+        "t_untraced": t_off,
+        "t_traced": t_on,
+        "enabled_ratio": enabled_ratio,
+        "spans": len(spans),
+        "per_scope_disabled_s": per_scope,
+        "estimated_disabled_overhead_frac": disabled_frac,
+        "work": cost_on.work,
+        "depth": cost_on.depth,
+    }
+    print(f"\nobs: untraced {t_off:.3f}s, traced {t_on:.3f}s "
+          f"({enabled_ratio:.2f}x), {len(spans)} spans, "
+          f"disabled overhead ~{disabled_frac:.2%}")
+    if FULL_SCALE:
+        assert disabled_frac <= MAX_TRACING_DISABLED_OVERHEAD, (
+            f"disabled tracing costs ~{disabled_frac:.1%} of the untraced "
+            f"run (gate: <= {MAX_TRACING_DISABLED_OVERHEAD:.0%})"
+        )
+        assert enabled_ratio <= MAX_TRACING_ENABLED_RATIO, (
+            f"enabled tracing is {enabled_ratio:.2f}x the untraced run "
+            f"(gate: <= {MAX_TRACING_ENABLED_RATIO}x)"
+        )
+    run_once(benchmark, lambda: None)
+
+
 def teardown_module(module):
     root = Path(__file__).resolve().parent.parent
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -168,6 +264,19 @@ def teardown_module(module):
             "benchmark": "self-kNN, batched vs recursive query engine",
             "scale": scale,
             "datasets": _records,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    if _obs_records:
+        out = root / "BENCH_obs.json"
+        payload = {
+            "benchmark": "span tracing overhead: disabled estimate + enabled ratio",
+            "scale": scale,
+            "gates": {
+                "max_disabled_overhead_frac": MAX_TRACING_DISABLED_OVERHEAD,
+                "max_enabled_ratio": MAX_TRACING_ENABLED_RATIO,
+            },
+            "runs": _obs_records,
         }
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {out}")

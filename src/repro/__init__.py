@@ -21,6 +21,9 @@ Modules mirror the paper's architecture (Figure 1):
 * :mod:`repro.serve` — the in-process geometry query service: dynamic
   batching of single requests through the batched engine, versioned
   result caching, and bounded-queue backpressure.
+* :mod:`repro.obs` — observability: span-tree tracing over the
+  fork-join runtime, Chrome-trace/summary exporters, and the unified
+  metrics registry (``python -m repro profile ...``).
 
 Quickstart::
 

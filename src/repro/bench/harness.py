@@ -56,6 +56,7 @@ class Measurement:
     cost: Cost
     result: object = None
     meta: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)  # best run's spans when traced
 
     def speedup(self, workers: float = PAPER_CORES) -> float:
         # a parallel implementation can always fall back to its serial
@@ -78,28 +79,44 @@ class Measurement:
 
 
 def measure(name: str, fn, *args, repeat: int = 1, meta: dict | None = None,
-            **kwargs) -> Measurement:
+            tracing: bool = False, **kwargs) -> Measurement:
     """Run ``fn`` and capture wall time and work-depth cost.
 
     ``meta`` is merged into the measurement's metadata, alongside the
-    automatically recorded ``repeat`` and scheduler ``backend``.
+    automatically recorded ``repeat`` and scheduler ``backend``.  With
+    ``tracing=True`` each repeat runs under a fresh span recorder (see
+    :mod:`repro.obs`) rooted at ``name``; the best run's spans are kept
+    on the measurement.
     """
     best_t = float("inf")
     cost = Cost()
     result = None
+    spans: list = []
     for _ in range(max(repeat, 1)):
         tracker.reset()
-        t0 = time.perf_counter()
-        result = fn(*args, **kwargs)
-        dt = time.perf_counter() - t0
+        if tracing:
+            from ..obs import trace
+
+            t0 = time.perf_counter()
+            with trace(name) as rec:
+                result = fn(*args, **kwargs)
+            dt = time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            result = fn(*args, **kwargs)
+            dt = time.perf_counter() - t0
         if dt < best_t:
             best_t = dt
             cost = tracker.total()
+            if tracing:
+                spans = rec.spans()
     tracker.reset()
     full_meta = {"repeat": max(repeat, 1), "backend": get_scheduler().backend}
+    if tracing:
+        full_meta["tracing"] = True
     if meta:
         full_meta.update(meta)
-    return Measurement(name, best_t, cost, result, full_meta)
+    return Measurement(name, best_t, cost, result, full_meta, spans)
 
 
 @dataclass

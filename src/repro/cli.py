@@ -12,6 +12,7 @@ Examples::
     python -m repro emst pts.npy -o mst.csv
     python -m repro graph pts.npy --kind gabriel -o edges.csv
     python -m repro serve-replay pts.npy --synthetic 2000 --compare
+    python -m repro profile --trace-out knn.trace.json knn pts.npy -k 8
 """
 
 from __future__ import annotations
@@ -141,6 +142,17 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def _write_metrics(path: str, service) -> None:
+    """Write the service's post-run metrics snapshot as JSON."""
+    import json
+
+    snap = service.snapshot()
+    snap["registry"] = service.registry.snapshot()
+    with open(path, "w") as f:
+        json.dump(snap, f, indent=2, sort_keys=True, default=str)
+        f.write("\n")
+
+
 def cmd_serve_replay(args) -> int:
     from .bdl import BDLTree
     from .kdtree import KDTree
@@ -190,6 +202,9 @@ def cmd_serve_replay(args) -> int:
     kind = "BDLTree" if args.dynamic else "KDTree"
     print(f"serve-replay: {len(coords)} points ({kind}), {len(trace)} requests")
     print(report.summary())
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, service)
+        print(f"wrote metrics snapshot to {args.metrics_out}")
 
     if args.compare:
         index = build_index()  # fresh index: same starting state as the service
@@ -202,6 +217,40 @@ def cmd_serve_replay(args) -> int:
             f"({len(trace) / dt:,.0f} req/s) -> service is {ratio:.2f}x faster"
         )
     return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs import summary, trace, write_chrome_trace
+    from .obs.span import DEFAULT_MAX_SPANS
+    from .parlay.workdepth import tracker
+
+    cmd = list(args.cmd)
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd:
+        print("error: profile needs a command to run, "
+              "e.g. 'profile knn pts.npy -k 8'", file=sys.stderr)
+        return 2
+    if cmd[0] == "profile":
+        print("error: profile cannot wrap itself", file=sys.stderr)
+        return 2
+
+    inner = build_parser().parse_args(cmd)
+    tracker.reset()
+    with trace(f"cli.{cmd[0]}",
+               max_spans=args.max_spans or DEFAULT_MAX_SPANS) as rec:
+        rc = inner.fn(inner)
+    spans = rec.spans()
+    obj = write_chrome_trace(args.trace_out, spans,
+                             workers=args.workers, name=f"repro {cmd[0]}")
+    print()
+    print(summary(spans, top=args.top, workers=args.workers))
+    print()
+    dropped = f" ({rec.dropped} dropped)" if rec.dropped else ""
+    print(f"wrote {len(obj['traceEvents'])} trace events "
+          f"({len(spans)} spans{dropped}) to {args.trace_out} "
+          f"-- load in https://ui.perfetto.dev")
+    return rc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,7 +336,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="result-cache capacity (entries)")
     sr.add_argument("--compare", action="store_true",
                     help="also time the one-request-at-a-time recursive loop")
+    sr.add_argument("--metrics-out", metavar="PATH",
+                    help="write the post-run service metrics snapshot as JSON")
     sr.set_defaults(fn=cmd_serve_replay)
+
+    pr = sub.add_parser(
+        "profile",
+        help="run any command under the span tracer and export its trace",
+        description="Wrap another repro command (hull, knn, serve-replay, ...) "
+        "in the span-tree tracer, write a Perfetto-loadable Chrome trace, "
+        "and print a flame-style work/depth summary.",
+    )
+    pr.add_argument("--trace-out", default="trace.json", metavar="PATH",
+                    help="Chrome trace-event JSON output (default: trace.json)")
+    pr.add_argument("--workers", type=int, default=36,
+                    help="simulated cores for the scheduled timeline")
+    pr.add_argument("--top", type=int, default=12,
+                    help="rows in the top-spans tables")
+    pr.add_argument("--max-spans", type=int, default=None,
+                    help="recorder capacity (spans beyond it are dropped)")
+    pr.add_argument("cmd", nargs=argparse.REMAINDER,
+                    help="the command line to profile, e.g. 'knn pts.npy -k 8'")
+    pr.set_defaults(fn=cmd_profile)
     return p
 
 

@@ -20,6 +20,7 @@ import math
 import numpy as np
 
 from ..core.points import as_array
+from ..obs.span import span
 from ..parlay.scheduler import get_scheduler
 from ..parlay.workdepth import charge
 
@@ -89,31 +90,33 @@ def _quickhull2d(points, parallel: bool) -> np.ndarray:
     if n == 1:
         return np.zeros(1, dtype=np.int64)
 
-    # extreme points by lexicographic order (breaks ties deterministically)
-    charge(n, math.log2(max(n, 2)))
-    lex = np.lexsort((pts[:, 1], pts[:, 0]))
-    il, ir = int(lex[0]), int(lex[-1])
-    if il == ir or np.all(pts[il] == pts[ir]):
-        return np.array([il], dtype=np.int64)
+    with span("hull2d.partition", batch=n):
+        # extreme points by lexicographic order (breaks ties deterministically)
+        charge(n, math.log2(max(n, 2)))
+        lex = np.lexsort((pts[:, 1], pts[:, 0]))
+        il, ir = int(lex[0]), int(lex[-1])
+        if il == ir or np.all(pts[il] == pts[ir]):
+            return np.array([il], dtype=np.int64)
 
-    idx = np.arange(n, dtype=np.int64)
-    a, b = pts[il], pts[ir]
-    cr = _cross_batch(pts, a, b, idx)
-    upper = idx[cr > 0]
-    lower = idx[cr < 0]
+        idx = np.arange(n, dtype=np.int64)
+        a, b = pts[il], pts[ir]
+        cr = _cross_batch(pts, a, b, idx)
+        upper = idx[cr > 0]
+        lower = idx[cr < 0]
 
     out_up: list = []
     out_lo: list = []
-    if parallel and n > _PAR_CUTOFF:
-        get_scheduler().parallel_do(
-            [
-                lambda: _qh_rec(pts, il, ir, upper, out_up, True),
-                lambda: _qh_rec(pts, ir, il, lower, out_lo, True),
-            ]
-        )
-    else:
-        _qh_rec(pts, il, ir, upper, out_up, parallel)
-        _qh_rec(pts, ir, il, lower, out_lo, parallel)
+    with span("hull2d.recurse", batch=len(upper) + len(lower)):
+        if parallel and n > _PAR_CUTOFF:
+            get_scheduler().parallel_do(
+                [
+                    lambda: _qh_rec(pts, il, ir, upper, out_up, True),
+                    lambda: _qh_rec(pts, ir, il, lower, out_lo, True),
+                ]
+            )
+        else:
+            _qh_rec(pts, il, ir, upper, out_up, parallel)
+            _qh_rec(pts, ir, il, lower, out_lo, parallel)
     # _qh_rec(a, b, ...) emits the chain of points left of a->b in a->b
     # order; out_up runs il->ir above the line, out_lo runs ir->il below.
     # CCW traversal = il, lower chain left-to-right, ir, upper chain
@@ -158,7 +161,11 @@ def divide_conquer_2d(points, c: int = 2, nblocks: int | None = None) -> np.ndar
         sub = quickhull2d_seq(pts[lo:hi])
         return sub + lo
 
-    subs = sched.parallel_do([(lambda b=b: solve_block(b)) for b in range(nblocks)])
-    cand = np.concatenate(subs)
-    final_local = quickhull2d_parallel(pts[cand])
+    with span("hull2d.blocks", batch=nblocks):
+        subs = sched.parallel_do(
+            [(lambda b=b: solve_block(b)) for b in range(nblocks)]
+        )
+        cand = np.concatenate(subs)
+    with span("hull2d.final", batch=len(cand)):
+        final_local = quickhull2d_parallel(pts[cand])
     return cand[final_local]

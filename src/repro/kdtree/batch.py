@@ -39,6 +39,7 @@ import os
 import numpy as np
 
 from ..core.points import as_array
+from ..obs.span import span
 from ..parlay.primitives import query_blocks
 from ..parlay.workdepth import charge, charge_blocked
 from .tree import KDTree
@@ -457,8 +458,9 @@ def batched_knn_into(
     blocks = query_blocks(len(qs), grain=64)
     if not blocks:
         return
-    _frontier_knn(tree, qs, buf, np.arange(buf.m, dtype=np.int64), ban)
-    charge_blocked(buf.qwork, buf.qdepth, blocks)
+    with span("kdtree.batch.frontier", batch=len(qs)):
+        _frontier_knn(tree, qs, buf, np.arange(buf.m, dtype=np.int64), ban)
+        charge_blocked(buf.qwork, buf.qdepth, blocks)
     buf.qwork[:] = 0.0
     buf.qdepth[:] = 0.0
 
@@ -513,43 +515,44 @@ def batched_range_query_batch(tree: KDTree, los, his, grain: int = 16) -> list[n
     hp: list = []
     d = tree.dim
 
-    if tree.root >= 0 and tree.live[tree.root] > 0:
-        fq = np.arange(m, dtype=np.int64)
-        fn = np.full(m, tree.root, dtype=np.int64)
-        while len(fq):
-            np.add.at(qwork, fq, 2 * d + 4)
-            np.add.at(qdepth, fq, 1.0)
-            nlo = tree.box_lo[fn]
-            nhi = tree.box_hi[fn]
-            qlo = los[fq]
-            qhi = his[fq]
-            keep = ~(np.any(nlo > qhi, axis=1) | np.any(nhi < qlo, axis=1))
-            fq, fn = fq[keep], fn[keep]
-            nlo, nhi, qlo, qhi = nlo[keep], nhi[keep], qlo[keep], qhi[keep]
-            if not len(fq):
-                break
-            contained = np.all(nlo >= qlo, axis=1) & np.all(nhi <= qhi, axis=1)
-            crow, cnode = fq[contained], fn[contained]
-            if len(crow):
-                _emit_whole(tree, crow, cnode, hq, hp)
-            fq, fn = fq[~contained], fn[~contained]
-            qlo, qhi = qlo[~contained], qhi[~contained]
-            leaf = tree.is_leaf[fn]
-            lrow, lnode = fq[leaf], fn[leaf]
-            if len(lrow):
-                _emit_leaf_box(tree, los, his, lrow, lnode, hq, hp, qwork, qdepth)
-            fq, fn = fq[~leaf], fn[~leaf]
-            nxt_q = []
-            nxt_n = []
-            for child in (tree.left[fn], tree.right[fn]):
-                ok = (child >= 0) & (_live_at(tree, child) > 0)
-                nxt_q.append(fq[ok])
-                nxt_n.append(child[ok])
-            fq = np.concatenate(nxt_q)
-            fn = np.concatenate(nxt_n)
+    with span("kdtree.batch.box", batch=m):
+        if tree.root >= 0 and tree.live[tree.root] > 0:
+            fq = np.arange(m, dtype=np.int64)
+            fn = np.full(m, tree.root, dtype=np.int64)
+            while len(fq):
+                np.add.at(qwork, fq, 2 * d + 4)
+                np.add.at(qdepth, fq, 1.0)
+                nlo = tree.box_lo[fn]
+                nhi = tree.box_hi[fn]
+                qlo = los[fq]
+                qhi = his[fq]
+                keep = ~(np.any(nlo > qhi, axis=1) | np.any(nhi < qlo, axis=1))
+                fq, fn = fq[keep], fn[keep]
+                nlo, nhi, qlo, qhi = nlo[keep], nhi[keep], qlo[keep], qhi[keep]
+                if not len(fq):
+                    break
+                contained = np.all(nlo >= qlo, axis=1) & np.all(nhi <= qhi, axis=1)
+                crow, cnode = fq[contained], fn[contained]
+                if len(crow):
+                    _emit_whole(tree, crow, cnode, hq, hp)
+                fq, fn = fq[~contained], fn[~contained]
+                qlo, qhi = qlo[~contained], qhi[~contained]
+                leaf = tree.is_leaf[fn]
+                lrow, lnode = fq[leaf], fn[leaf]
+                if len(lrow):
+                    _emit_leaf_box(tree, los, his, lrow, lnode, hq, hp, qwork, qdepth)
+                fq, fn = fq[~leaf], fn[~leaf]
+                nxt_q = []
+                nxt_n = []
+                for child in (tree.left[fn], tree.right[fn]):
+                    ok = (child >= 0) & (_live_at(tree, child) > 0)
+                    nxt_q.append(fq[ok])
+                    nxt_n.append(child[ok])
+                fq = np.concatenate(nxt_q)
+                fn = np.concatenate(nxt_n)
 
-    results = _split_hits(m, hq, hp, tree.perm)
-    charge_blocked(qwork, qdepth, blocks)
+        results = _split_hits(m, hq, hp, tree.perm)
+        charge_blocked(qwork, qdepth, blocks)
     return results
 
 
@@ -604,43 +607,44 @@ def batched_range_query_ball_batch(
     hp: list = []
     d = tree.dim
 
-    if tree.root >= 0 and tree.live[tree.root] > 0:
-        fq = np.arange(m, dtype=np.int64)
-        fn = np.full(m, tree.root, dtype=np.int64)
-        while len(fq):
-            np.add.at(qwork, fq, 2 * d + 4)
-            np.add.at(qdepth, fq, 1.0)
-            nlo = tree.box_lo[fn]
-            nhi = tree.box_hi[fn]
-            c = cs[fq]
-            gap = np.maximum(nlo - c, 0.0) + np.maximum(c - nhi, 0.0)
-            keep = np.einsum("ij,ij->i", gap, gap) <= r2[fq]
-            fq, fn = fq[keep], fn[keep]
-            nlo, nhi, c = nlo[keep], nhi[keep], c[keep]
-            if not len(fq):
-                break
-            far = np.maximum(np.abs(c - nlo), np.abs(c - nhi))
-            contained = np.einsum("ij,ij->i", far, far) <= r2[fq]
-            crow, cnode = fq[contained], fn[contained]
-            if len(crow):
-                _emit_whole(tree, crow, cnode, hq, hp)
-            fq, fn = fq[~contained], fn[~contained]
-            leaf = tree.is_leaf[fn]
-            lrow, lnode = fq[leaf], fn[leaf]
-            if len(lrow):
-                _emit_leaf_ball(tree, cs, r2, lrow, lnode, hq, hp, qwork, qdepth)
-            fq, fn = fq[~leaf], fn[~leaf]
-            nxt_q = []
-            nxt_n = []
-            for child in (tree.left[fn], tree.right[fn]):
-                ok = (child >= 0) & (_live_at(tree, child) > 0)
-                nxt_q.append(fq[ok])
-                nxt_n.append(child[ok])
-            fq = np.concatenate(nxt_q)
-            fn = np.concatenate(nxt_n)
+    with span("kdtree.batch.ball", batch=m):
+        if tree.root >= 0 and tree.live[tree.root] > 0:
+            fq = np.arange(m, dtype=np.int64)
+            fn = np.full(m, tree.root, dtype=np.int64)
+            while len(fq):
+                np.add.at(qwork, fq, 2 * d + 4)
+                np.add.at(qdepth, fq, 1.0)
+                nlo = tree.box_lo[fn]
+                nhi = tree.box_hi[fn]
+                c = cs[fq]
+                gap = np.maximum(nlo - c, 0.0) + np.maximum(c - nhi, 0.0)
+                keep = np.einsum("ij,ij->i", gap, gap) <= r2[fq]
+                fq, fn = fq[keep], fn[keep]
+                nlo, nhi, c = nlo[keep], nhi[keep], c[keep]
+                if not len(fq):
+                    break
+                far = np.maximum(np.abs(c - nlo), np.abs(c - nhi))
+                contained = np.einsum("ij,ij->i", far, far) <= r2[fq]
+                crow, cnode = fq[contained], fn[contained]
+                if len(crow):
+                    _emit_whole(tree, crow, cnode, hq, hp)
+                fq, fn = fq[~contained], fn[~contained]
+                leaf = tree.is_leaf[fn]
+                lrow, lnode = fq[leaf], fn[leaf]
+                if len(lrow):
+                    _emit_leaf_ball(tree, cs, r2, lrow, lnode, hq, hp, qwork, qdepth)
+                fq, fn = fq[~leaf], fn[~leaf]
+                nxt_q = []
+                nxt_n = []
+                for child in (tree.left[fn], tree.right[fn]):
+                    ok = (child >= 0) & (_live_at(tree, child) > 0)
+                    nxt_q.append(fq[ok])
+                    nxt_n.append(child[ok])
+                fq = np.concatenate(nxt_q)
+                fn = np.concatenate(nxt_n)
 
-    results = _split_hits(m, hq, hp, tree.perm)
-    charge_blocked(qwork, qdepth, blocks)
+        results = _split_hits(m, hq, hp, tree.perm)
+        charge_blocked(qwork, qdepth, blocks)
     return results
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.points import as_array
+from ..obs.span import span
 from ..parlay.scheduler import get_scheduler
 from ..parlay.primitives import query_blocks
 from ..parlay.workdepth import charge
@@ -125,14 +126,16 @@ def knn(
     """
     from .batch import batched_knn, resolve_engine
 
-    if resolve_engine(engine) == "batched":
-        return batched_knn(tree, queries, k, exclude_self)
+    eng = resolve_engine(engine)
     qs = as_array(queries)
-    m = len(qs)
-    kk = k + 1 if exclude_self else k
-    buffers = [KNNBuffer(kk) for _ in range(m)]
-    knn_into(tree, qs, buffers)
-    return extract_knn_results(buffers, k, exclude_self)
+    with span("kdtree.knn", batch=len(qs), k=k, engine=eng):
+        if eng == "batched":
+            return batched_knn(tree, qs, k, exclude_self)
+        m = len(qs)
+        kk = k + 1 if exclude_self else k
+        buffers = [KNNBuffer(kk) for _ in range(m)]
+        knn_into(tree, qs, buffers)
+        return extract_knn_results(buffers, k, exclude_self)
 
 
 def extract_knn_results(

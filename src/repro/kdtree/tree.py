@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core.bbox import BBox
 from ..core.points import as_array
+from ..obs.span import span
 from ..parlay.scheduler import get_scheduler
 from ..parlay.workdepth import charge, fork_costs
 
@@ -105,7 +106,8 @@ class KDTree:
         self.version = 0
 
         if n > 0:
-            self._build()
+            with span("kdtree.build", batch=n, split=split):
+                self._build()
 
     # ------------------------------------------------------------------
     # Construction (paper Algorithm 1)

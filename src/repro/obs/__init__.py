@@ -1,0 +1,86 @@
+"""``repro.obs`` — observability over the fork-join runtime.
+
+Three pieces (see DESIGN.md §5):
+
+* **Span-tree tracing** (:mod:`repro.obs.span`): scheduler tasks and
+  named algorithm phases emit spans — name, parent, wall time, charged
+  work/depth, backend, batch size — into a bounded, thread-safe
+  :class:`SpanRecorder`.  Off by default; the disabled hot path is one
+  global load per scope.
+* **Exporters** (:mod:`repro.obs.export`): Chrome trace-event JSON
+  (Perfetto-loadable, with the DAG greedy-list-scheduled onto simulated
+  worker lanes under Brent's bound) and a flame-style text summary.
+* **Metrics registry** (:mod:`repro.obs.registry`): counters / gauges /
+  histograms with one consistent ``snapshot()`` dict and Prometheus
+  text exposition; the serving layer's stats live on it.
+
+Quickstart::
+
+    from repro import KDTree, uniform
+    from repro.obs import trace, summary, write_chrome_trace
+
+    pts = uniform(50_000, 2, seed=0)
+    with trace("knn") as rec:
+        tree = KDTree(pts)
+        tree.knn(pts, 8, exclude_self=True)
+    print(summary(rec.spans()))
+    write_chrome_trace("knn.trace.json", rec.spans(), workers=36)
+
+or, from the command line, ``python -m repro profile knn pts.npy -k 8``.
+"""
+
+from .export import (
+    chrome_trace,
+    critical_path,
+    self_work,
+    simulate_schedule,
+    span_children,
+    span_roots,
+    summary,
+    totals,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .span import (
+    Span,
+    SpanRecorder,
+    active_recorder,
+    disable_tracing,
+    enable_tracing,
+    span,
+    trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "active_recorder",
+    "chrome_trace",
+    "critical_path",
+    "default_registry",
+    "disable_tracing",
+    "enable_tracing",
+    "self_work",
+    "simulate_schedule",
+    "span",
+    "span_children",
+    "span_roots",
+    "summary",
+    "totals",
+    "trace",
+    "tracing_enabled",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

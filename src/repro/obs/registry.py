@@ -1,0 +1,247 @@
+"""Unified metrics registry: counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` is the single metrics surface of a
+subsystem: every component registers its counters there (the geometry
+service registers its request/batch counters, its result cache, and its
+coalescing queue against one registry), and the registry renders two
+expositions of the same state:
+
+* :meth:`MetricsRegistry.snapshot` — a point-in-time ``dict`` (JSON-
+  ready), what dashboards and the ``--metrics-out`` CLI flag consume;
+* :meth:`MetricsRegistry.render_prometheus` — Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` / samples), so the same
+  counters can be scraped without a second bookkeeping path.
+
+All metrics of one registry share the registry's lock, so a snapshot is
+a consistent cut across every metric (exactly what the old hand-rolled
+``ServiceStats`` lock provided).  Gauges may be backed by a callable
+(:meth:`Gauge.set_function`) for values that live elsewhere — queue
+lengths, cache sizes — which are polled at snapshot time instead of
+being double-booked.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from collections import OrderedDict
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _fmt(v: float) -> str:
+    """Prometheus sample formatting: integral floats print as ints."""
+    if isinstance(v, float):
+        if math.isinf(v):
+            return "+Inf" if v > 0 else "-Inf"
+        if v == int(v) and abs(v) < 1e15:
+            return str(int(v))
+    return repr(float(v))
+
+
+class _Metric:
+    """Base: a named value guarded by the owning registry's lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+
+    def value(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock):
+        super().__init__(name, help, lock)
+        self._value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Metric):
+    """A value that can go up, down, or be read from a callable."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock):
+        super().__init__(name, help, lock)
+        self._value = 0.0
+        self._fn = None
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self._value = float(v)
+
+    def set_max(self, v: float) -> None:
+        """Raise the gauge to ``v`` if larger (high-watermark gauges)."""
+        with self._lock:
+            if v > self._value:
+                self._value = float(v)
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value -= n
+
+    def set_function(self, fn) -> "Gauge":
+        """Back the gauge by ``fn()`` — polled at read time, never stored."""
+        self._fn = fn
+        return self
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            return float(fn())
+        with self._lock:
+            return self._value
+
+
+#: Default histogram buckets (seconds-flavoured, like Prometheus').
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with sum and count."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, lock, buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        i = bisect.bisect_left(self.bounds, v)
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += v
+            self._count += 1
+
+    @property
+    def value(self) -> dict:
+        """``{"count", "sum", "buckets": {le: cumulative}}`` (JSON-ready)."""
+        with self._lock:
+            counts = list(self._counts)
+            total, s = self._count, self._sum
+        out, cum = {}, 0
+        for b, c in zip(self.bounds, counts):
+            cum += c
+            out[_fmt(b)] = cum
+        out["+Inf"] = total
+        return {"count": total, "sum": s, "buckets": out}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one consistent snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: OrderedDict[str, _Metric] = OrderedDict()
+
+    # -- registration ------------------------------------------------------
+    def _get_or_make(self, cls, name: str, help: str, **kw):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = self._metrics[name] = cls(name, help, self._lock, **kw)
+            elif not isinstance(m, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {m.kind}, "
+                    f"requested {cls.kind}"
+                )
+            return m
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_make(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_make(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_make(Histogram, name, help, buckets=buckets)
+
+    # -- introspection -----------------------------------------------------
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._metrics)
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    # -- exposition --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every metric's current value as one JSON-ready dict."""
+        with self._lock:
+            return {name: m.value for name, m in self._metrics.items()}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format of every metric."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for m in metrics:
+            if m.help:
+                lines.append(f"# HELP {m.name} {m.help}")
+            lines.append(f"# TYPE {m.name} {m.kind}")
+            if isinstance(m, Histogram):
+                v = m.value
+                for le, c in v["buckets"].items():
+                    lines.append(f'{m.name}_bucket{{le="{le}"}} {c}')
+                lines.append(f"{m.name}_sum {_fmt(v['sum'])}")
+                lines.append(f"{m.name}_count {v['count']}")
+            else:
+                lines.append(f"{m.name} {_fmt(m.value)}")
+        return "\n".join(lines) + "\n"
+
+
+_default = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (components may also own private ones)."""
+    return _default

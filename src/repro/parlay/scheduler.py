@@ -26,7 +26,7 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from .workdepth import Cost, tracker
+from .workdepth import Cost, get_tracer, tracker
 
 __all__ = [
     "Scheduler",
@@ -93,25 +93,45 @@ class Scheduler:
             self.backend == "sequential"
             or getattr(self._in_worker, "flag", False)
         )
+        tr = get_tracer()
         if inline:
             results: list[T] = []
             costs: list[Cost] = []
-            for t in tasks:
-                with tracker.frame() as c:
-                    results.append(t())
-                costs.append(c)
+            if tr is None:
+                for t in tasks:
+                    with tracker.frame() as c:
+                        results.append(t())
+                    costs.append(c)
+            else:
+                for t in tasks:
+                    with tracker.frame(
+                        label="parlay.task", cat="task",
+                        backend=self.backend, batch=len(tasks),
+                    ) as c:
+                        results.append(t())
+                    costs.append(c)
             tracker.merge_parallel(costs, fanout=len(tasks))
             return results
 
         pool = self._ensure_pool()
         costs_by_idx: list[Cost | None] = [None] * len(tasks)
         results_by_idx: list[T] = [None] * len(tasks)  # type: ignore[list-item]
+        # the span parent is the forking thread's innermost open span —
+        # worker threads have no span context of their own
+        fork_parent = tr.current_id() if tr is not None else None
 
         def run(i: int, t: Callable[[], T]) -> None:
             self._in_worker.flag = True
             try:
-                with tracker.frame() as c:
-                    results_by_idx[i] = t()
+                if tr is None:
+                    with tracker.frame() as c:
+                        results_by_idx[i] = t()
+                else:
+                    with tracker.frame(
+                        label="parlay.task", cat="task", backend="threads",
+                        batch=len(tasks), parent=fork_parent,
+                    ) as c:
+                        results_by_idx[i] = t()
                 costs_by_idx[i] = c
             finally:
                 self._in_worker.flag = False

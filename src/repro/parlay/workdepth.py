@@ -32,11 +32,30 @@ __all__ = [
     "charge",
     "charge_blocked",
     "frame",
+    "get_tracer",
     "parallel_merge",
+    "set_tracer",
     "simulated_time",
     "simulated_speedup",
     "HYPERTHREAD_FACTOR",
 ]
+
+# -- tracing hook ------------------------------------------------------
+# repro.obs installs a span recorder here (see repro.obs.span).  The
+# default None keeps the hot path to one global load per frame: no span
+# is ever allocated unless tracing is enabled.
+_tracer = None
+
+
+def set_tracer(tracer) -> None:
+    """Install (or, with None, remove) the process-wide span tracer."""
+    global _tracer
+    _tracer = tracer
+
+
+def get_tracer():
+    """The active span tracer, or None when tracing is disabled."""
+    return _tracer
 
 # Two-way hyper-threading gives the paper's machine 72 logical cores but
 # roughly 36 * 1.3 cores' worth of throughput; the harness uses this when
@@ -110,20 +129,41 @@ class CostTracker(threading.local):
 
     # -- scoped accounting -------------------------------------------------
     @contextmanager
-    def frame(self):
+    def frame(self, label: str | None = None, **attrs):
         """Collect the cost of the enclosed block into a fresh Cost.
 
         The cost is *not* automatically merged into the parent; the
         caller receives it and merges explicitly.  Used by the scheduler
         to implement parallel (max-depth) composition.
+
+        With a ``label`` and an installed tracer (see :func:`set_tracer`)
+        the frame also emits a span carrying the label, any extra
+        ``attrs`` (cat, backend, batch, parent, ...), and the frame's
+        final (work, depth).
+
+        The pop is exception-safe: the frame is removed in ``finally``
+        and any stray frames a raising (or mis-nested) block left above
+        it are unwound into this frame's cost first, so a raising
+        algorithm can never corrupt the thread-local frame stack.
         """
         child = Cost()
-        self._stack.append(child)
+        stack = self._stack
+        stack.append(child)
+        tr = _tracer
+        tok = (
+            tr.begin(label, **attrs)
+            if tr is not None and label is not None
+            else None
+        )
         try:
             yield child
         finally:
-            popped = self._stack.pop()
-            assert popped is child
+            while len(stack) > 1 and stack[-1] is not child:
+                child.add_serial(stack.pop())
+            if stack[-1] is child:
+                stack.pop()
+            if tok is not None:
+                tr.end(tok, child.work, child.depth)
 
     def merge_parallel(self, children: list[Cost], fanout: int | None = None) -> None:
         """Merge sibling costs that ran in parallel.
@@ -154,8 +194,8 @@ def charge(work: float, depth: float | None = None) -> None:
 
 
 @contextmanager
-def frame():
-    with tracker.frame() as c:
+def frame(label: str | None = None, **attrs):
+    with tracker.frame(label, **attrs) as c:
         yield c
 
 
@@ -164,7 +204,7 @@ def parallel_merge(children: list[Cost], fanout: int | None = None) -> None:
 
 
 @contextmanager
-def capture(absorb: bool = True):
+def capture(absorb: bool = True, label: str | None = None, **attrs):
     """Capture exactly the cost charged by the enclosed block.
 
     Pushes a fresh frame on the *current thread's* tracker and yields
@@ -180,11 +220,19 @@ def capture(absorb: bool = True):
     into the enclosing frame on exit, so outer accounting still sees
     the work; ``absorb=False`` discards it from the enclosing totals
     (pure measurement).
+
+    A ``label`` additionally emits a span for the captured scope when
+    tracing is enabled (see :meth:`CostTracker.frame`).  The absorb
+    happens in ``finally``, so work charged before an exception still
+    reaches the enclosing frame.
     """
-    with tracker.frame() as c:
-        yield c
-    if absorb:
-        tracker.merge_serial(c)
+    c = None
+    try:
+        with tracker.frame(label, **attrs) as c:
+            yield c
+    finally:
+        if absorb and c is not None:
+            tracker.merge_serial(c)
 
 
 def charge_blocked(works, depths, blocks) -> None:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.points import as_array
+from ..obs.span import span
 from ..parlay.random import random_permutation
 from ..parlay.workdepth import charge
 from .ball import Ball, ball_of_support
@@ -60,35 +61,37 @@ def sampling_seb(
     ball = ball_of_support(shuffled[: min(n, d + 1)], seed=seed)
 
     # --- sampling phase (Fig. 6 lines 5-13) ---
-    scanned = 0
-    while scanned < n:
-        seg = shuffled[scanned : min(scanned + chunk, n)]
-        scanned += len(seg)
-        stats.sample_chunks += 1
-        stats.points_sampled += len(seg)
-        has_out, extremes = orthant_scan_once(seg, ball)
-        if not has_out:
-            break  # current sample does not violate B
-        support = np.vstack([ball.support, extremes]) if len(ball.support) else extremes
-        ball = ball_of_support(support, seed=seed)
-    stats.fraction_sampled = stats.points_sampled / n
+    with span("seb.sample", batch=chunk):
+        scanned = 0
+        while scanned < n:
+            seg = shuffled[scanned : min(scanned + chunk, n)]
+            scanned += len(seg)
+            stats.sample_chunks += 1
+            stats.points_sampled += len(seg)
+            has_out, extremes = orthant_scan_once(seg, ball)
+            if not has_out:
+                break  # current sample does not violate B
+            support = np.vstack([ball.support, extremes]) if len(ball.support) else extremes
+            ball = ball_of_support(support, seed=seed)
+        stats.fraction_sampled = stats.points_sampled / n
 
     # --- final computation phase (Fig. 6 lines 15-20) ---
-    prev_radius = -1.0
-    for _ in range(max_iter):
-        stats.final_scans += 1
-        has_out, extremes = orthant_scan_once(pts, ball)
-        if not has_out:
-            return ball, stats
-        support = np.vstack([ball.support, extremes]) if len(ball.support) else extremes
-        ball = ball_of_support(support, seed=seed)
-        if ball.radius <= prev_radius * (1.0 + 1e-15):
-            charge(n)
-            diff = pts - ball.center
-            d2 = np.einsum("ij,ij->i", diff, diff)
-            j = int(np.argmax(d2))
-            ball = ball_of_support(np.vstack([ball.support, pts[None, j]]), seed=seed)
-        prev_radius = ball.radius
+    with span("seb.final", batch=n):
+        prev_radius = -1.0
+        for _ in range(max_iter):
+            stats.final_scans += 1
+            has_out, extremes = orthant_scan_once(pts, ball)
+            if not has_out:
+                return ball, stats
+            support = np.vstack([ball.support, extremes]) if len(ball.support) else extremes
+            ball = ball_of_support(support, seed=seed)
+            if ball.radius <= prev_radius * (1.0 + 1e-15):
+                charge(n)
+                diff = pts - ball.center
+                d2 = np.einsum("ij,ij->i", diff, diff)
+                j = int(np.argmax(d2))
+                ball = ball_of_support(np.vstack([ball.support, pts[None, j]]), seed=seed)
+            prev_radius = ball.radius
     from .welzl import welzl_mtf_pivot
 
     return welzl_mtf_pivot(pts, seed=seed), stats

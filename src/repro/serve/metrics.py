@@ -8,16 +8,25 @@ work/depth cost the batch execution charged on its behalf (captured
 with :func:`repro.parlay.workdepth.capture`, so costs on the ``threads``
 backend attribute to the right request stream).
 
-:class:`ServiceStats` aggregates the same quantities service-wide; its
-``snapshot()`` is the stable monitoring API.
+:class:`ServiceStats` aggregates the same quantities service-wide.
+Since PR 3 its counters live on a
+:class:`~repro.obs.registry.MetricsRegistry` — the unified metrics
+surface — so the service's request counters, its cache gauges, and its
+coalescing-queue gauge share one registry that renders both a JSON
+snapshot and Prometheus text exposition.  ``snapshot()`` remains the
+stable monitoring API with unchanged keys.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 
+from ..obs.registry import MetricsRegistry
+
 __all__ = ["RequestMetrics", "ServiceStats"]
+
+#: Batch-size histogram buckets (requests per coalesced dispatch).
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
 
 @dataclass(frozen=True)
@@ -40,44 +49,81 @@ class RequestMetrics:
 
 
 class ServiceStats:
-    """Thread-safe aggregate counters with a dict snapshot."""
+    """Service-wide aggregate counters on a shared metrics registry.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.submitted = 0
-        self.accepted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.timeouts = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.batches = 0
-        self.batched_requests = 0
-        self.max_batch = 0
-        self.queue_wait_total = 0.0
-        self.work = 0.0
-        self.depth = 0.0
+    The mutator API (``record_*``) and the ``snapshot()`` keys are
+    unchanged from the pre-registry implementation; the counters are
+    now :class:`~repro.obs.registry.Counter`/``Gauge``/``Histogram``
+    instances, so the same state is also available through
+    ``registry.snapshot()`` and ``registry.render_prometheus()``.
+    """
 
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._submitted = r.counter(
+            "serve_submitted_total", "requests submitted to the service")
+        self._accepted = r.counter(
+            "serve_accepted_total", "requests admitted past backpressure")
+        self._rejected = r.counter(
+            "serve_rejected_total", "requests shed by admission control")
+        self._completed = r.counter(
+            "serve_completed_total", "requests resolved with a result")
+        self._timeouts = r.counter(
+            "serve_timeouts_total", "requests rejected past their deadline")
+        self._cache_hits = r.counter(
+            "serve_cache_hits_total", "requests served without execution")
+        self._cache_misses = r.counter(
+            "serve_cache_misses_total", "unique queries actually executed")
+        self._batches = r.counter(
+            "serve_batches_total", "coalesced dispatches executed")
+        self._batched_requests = r.counter(
+            "serve_batched_requests_total", "requests resolved by dispatches")
+        self._max_batch = r.gauge(
+            "serve_batch_max_size", "largest coalesced dispatch so far")
+        self._batch_sizes = r.histogram(
+            "serve_batch_size", "requests per coalesced dispatch",
+            buckets=BATCH_BUCKETS)
+        self._queue_wait = r.counter(
+            "serve_queue_wait_seconds_total", "total seconds spent queued")
+        self._work = r.counter(
+            "serve_work_charged_total", "work-model units charged by dispatches")
+        self._depth = r.counter(
+            "serve_depth_charged_total", "depth-model units charged by dispatches")
+
+    # -- back-compat attribute reads (the old ints) ------------------------
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache_misses.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    # -- mutators ----------------------------------------------------------
     def record_submit(self) -> None:
-        with self._lock:
-            self.submitted += 1
+        self._submitted.inc()
 
     def record_accept(self) -> None:
-        with self._lock:
-            self.accepted += 1
+        self._accepted.inc()
 
     def record_reject(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._rejected.inc()
 
     def record_hit(self, n: int = 1, completed: int | None = None) -> None:
-        with self._lock:
-            self.cache_hits += n
-            self.completed += completed if completed is not None else n
+        self._cache_hits.inc(n)
+        self._completed.inc(completed if completed is not None else n)
 
     def record_timeout(self, n: int = 1) -> None:
-        with self._lock:
-            self.timeouts += n
+        self._timeouts.inc(n)
 
     def record_batch(
         self,
@@ -89,44 +135,44 @@ class ServiceStats:
     ) -> None:
         """Account one dispatch: ``resolved`` tickets were completed, of
         which ``executed`` unique queries actually ran."""
-        with self._lock:
-            self.batches += 1
-            self.batched_requests += resolved
-            self.max_batch = max(self.max_batch, resolved)
-            self.completed += resolved
-            self.cache_misses += executed
-            # duplicate / already-cached riders count as hits: they were
-            # served without their own execution
-            self.cache_hits += max(resolved - executed, 0)
-            self.queue_wait_total += queue_wait
-            self.work += work
-            self.depth += depth
+        self._batches.inc()
+        self._batched_requests.inc(resolved)
+        self._batch_sizes.observe(resolved)
+        self._max_batch.set_max(resolved)
+        self._completed.inc(resolved)
+        self._cache_misses.inc(executed)
+        # duplicate / already-cached riders count as hits: they were
+        # served without their own execution
+        self._cache_hits.inc(max(resolved - executed, 0))
+        self._queue_wait.inc(queue_wait)
+        self._work.inc(work)
+        self._depth.inc(depth)
 
+    # -- snapshot ----------------------------------------------------------
     def snapshot(self) -> dict:
         """A point-in-time dict of every counter plus derived rates."""
-        with self._lock:
-            looked_up = self.cache_hits + self.cache_misses
-            out = {
-                "submitted": self.submitted,
-                "accepted": self.accepted,
-                "rejected": self.rejected,
-                "completed": self.completed,
-                "timeouts": self.timeouts,
-                "cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "hit_rate": self.cache_hits / looked_up if looked_up else 0.0,
-                "batches": self.batches,
-                "batched_requests": self.batched_requests,
-                "avg_batch_size": (
-                    self.batched_requests / self.batches if self.batches else 0.0
-                ),
-                "max_batch_size": self.max_batch,
-                "avg_queue_wait_s": (
-                    self.queue_wait_total / self.batched_requests
-                    if self.batched_requests
-                    else 0.0
-                ),
-                "work_charged": self.work,
-                "depth_charged": self.depth,
-            }
-        return out
+        v = self.registry.snapshot()
+        hits = v["serve_cache_hits_total"]
+        misses = v["serve_cache_misses_total"]
+        batches = v["serve_batches_total"]
+        batched = v["serve_batched_requests_total"]
+        looked_up = hits + misses
+        return {
+            "submitted": int(v["serve_submitted_total"]),
+            "accepted": int(v["serve_accepted_total"]),
+            "rejected": int(v["serve_rejected_total"]),
+            "completed": int(v["serve_completed_total"]),
+            "timeouts": int(v["serve_timeouts_total"]),
+            "cache_hits": int(hits),
+            "cache_misses": int(misses),
+            "hit_rate": hits / looked_up if looked_up else 0.0,
+            "batches": int(batches),
+            "batched_requests": int(batched),
+            "avg_batch_size": batched / batches if batches else 0.0,
+            "max_batch_size": int(v["serve_batch_max_size"]),
+            "avg_queue_wait_s": (
+                v["serve_queue_wait_seconds_total"] / batched if batched else 0.0
+            ),
+            "work_charged": v["serve_work_charged_total"],
+            "depth_charged": v["serve_depth_charged_total"],
+        }

@@ -53,6 +53,7 @@ import time
 import numpy as np
 
 from ..kdtree.batch import execute_requests
+from ..obs.registry import MetricsRegistry
 from ..parlay.workdepth import capture
 from .cache import MISS, ResultCache, make_key, query_digest
 from .coalescer import Coalescer, PendingRequest, Ticket
@@ -85,6 +86,10 @@ class GeometryService:
         LRU result-cache entries (0 disables caching).
     default_timeout:
         Default per-request deadline in seconds (None = no deadline).
+    registry:
+        Metrics registry to publish on (one is created when omitted).
+        Request counters, cache gauges, and the pending-queue gauge all
+        live on it; :meth:`metrics_text` renders it for Prometheus.
     """
 
     def __init__(
@@ -95,6 +100,7 @@ class GeometryService:
         max_pending: int = 2048,
         cache_capacity: int = 4096,
         default_timeout: float | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -116,7 +122,22 @@ class GeometryService:
         self._closed = False
         self._stopping = False
         self._thread: threading.Thread | None = None
-        self.stats = ServiceStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = ServiceStats(self.registry)
+        # cache and coalescer state publish as polled gauges on the same
+        # registry, so one snapshot covers the whole serving layer
+        self.registry.gauge(
+            "serve_cache_size", "live result-cache entries"
+        ).set_function(lambda: len(self._cache))
+        self.registry.gauge(
+            "serve_cache_capacity", "result-cache capacity"
+        ).set_function(lambda: self._cache.capacity)
+        self.registry.gauge(
+            "serve_cache_evictions", "result-cache LRU evictions"
+        ).set_function(lambda: self._cache.evictions)
+        self.registry.gauge(
+            "serve_pending", "requests waiting in the coalescing queue"
+        ).set_function(self.pending)
 
     # ------------------------------------------------------------------
     # dataset registry
@@ -359,7 +380,10 @@ class GeometryService:
             return len(hits)
 
         try:
-            with capture() as cost:
+            with capture(
+                label="serve.dispatch", cat="serve",
+                batch=len(uniq), dataset=name,
+            ) as cost:
                 results = execute_requests(
                     index, [(r.kind, r.payload, dict(r.params)) for r in uniq]
                 )
@@ -459,3 +483,7 @@ class GeometryService:
         out["pending"] = self.pending()
         out["datasets"] = self.datasets()
         return out
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return self.registry.render_prometheus()

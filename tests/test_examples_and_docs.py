@@ -116,6 +116,8 @@ class TestReadmeQuickstart:
             "repro.clustering",
             "repro.generators",
             "repro.bench",
+            "repro.obs",
+            "repro.serve",
         ):
             m = importlib.import_module(mod)
             for name in getattr(m, "__all__", []):

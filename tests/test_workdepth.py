@@ -127,6 +127,45 @@ class TestCapture:
         assert tracker.total().work == 0
 
 
+class TestFrameExceptionSafety:
+    def test_raising_block_pops_its_frame(self):
+        """A frame abandoned by an exception must still be popped —
+        otherwise every later charge lands in a dead frame and the
+        bottom total is silently wrong forever."""
+        tracker.reset()
+        with pytest.raises(RuntimeError):
+            with frame():
+                charge(50, 2)
+                raise RuntimeError("algorithm blew up")
+        assert len(tracker._stack) == 1
+        # subsequent accounting works and is unpolluted by the dead frame
+        charge(7, 1)
+        assert tracker.total().work == 7
+        assert tracker.total().depth == 1
+
+    def test_stray_inner_frames_unwind_into_raiser(self):
+        """Frames the raising block itself left open (e.g. a generator
+        that never resumed) are absorbed serially, not leaked."""
+        tracker.reset()
+        with pytest.raises(ValueError):
+            with frame() as c:
+                charge(10, 1)
+                # simulate a mis-nested scope: push without popping
+                tracker._stack.append(Cost(100, 5))
+                raise ValueError
+        assert len(tracker._stack) == 1
+        assert c.work == 110 and c.depth == 6
+
+    def test_capture_absorbs_even_on_exception(self):
+        tracker.reset()
+        with pytest.raises(RuntimeError):
+            with capture():
+                charge(30, 3)
+                raise RuntimeError
+        assert tracker.total().work == 30
+        assert tracker.total().depth == 3
+
+
 class TestBrent:
     def test_one_worker_is_work_plus_depth(self):
         c = Cost(1000, 10)
