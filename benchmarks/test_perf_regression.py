@@ -22,6 +22,13 @@ recorded) and <= 2x wall-clock when enabled; the exported Chrome trace
 must pass the trace-event schema check and its per-span work/depth
 totals must reconcile with the ``CostTracker``'s.  Results land in
 ``BENCH_obs.json``.
+
+Cluster gate: runs the mixed kNN + ball workload of
+``repro.cluster.bench.compare_cluster`` on clustered (2D-V) input and
+requires (at full scale) a mean shards-touched fraction < 60% and a
+simulated scatter-gather speedup at p = 36 at least the monolithic
+tree's, with bitwise-equal results.  Results land in
+``BENCH_cluster.json``.
 """
 
 import json
@@ -50,9 +57,16 @@ MIN_HIT_RATE = 0.5
 MAX_TRACING_DISABLED_OVERHEAD = 0.05   # estimated, vs untraced wall-clock
 MAX_TRACING_ENABLED_RATIO = 2.0        # traced vs untraced wall-clock
 
+CLUSTER_N = bench_scale(20_000)        # points in the sharded-index gate
+CLUSTER_QUERIES = bench_scale(2_000)
+CLUSTER_SHARDS = 16
+CLUSTER_WORKERS = 36.0
+MAX_TOUCHED_FRAC = 0.6                 # mean shards touched per query
+
 _records: dict[str, dict] = {}
 _serve_records: dict[str, dict] = {}
 _obs_records: dict[str, dict] = {}
+_cluster_records: dict[str, dict] = {}
 
 
 def _bench(benchmark, ds_name: str):
@@ -255,6 +269,53 @@ def test_obs_tracing_overhead(benchmark, tmp_path):
     run_once(benchmark, lambda: None)
 
 
+def test_cluster_scatter_gather(benchmark):
+    """Sharded-index gate: on clustered input the router must prune
+    (mean shards-touched fraction well below 1.0) while staying exactly
+    equivalent to the monolithic tree, and the scatter-gather DAG must
+    simulate a better speedup at p workers under the work–depth model."""
+    from repro.cluster.bench import compare_cluster, summary
+
+    pts = data(f"2D-V-{CLUSTER_N}")
+    rec = compare_cluster(
+        pts,
+        n_shards=CLUSTER_SHARDS,
+        k=K,
+        n_queries=CLUSTER_QUERIES,
+        workers=CLUSTER_WORKERS,
+    )
+    _cluster_records["v_clustered"] = rec
+    print("\n" + summary(rec))
+
+    # self-describing record: every consumer-facing field is present
+    # and numeric (schema check, like the obs trace validation)
+    for key in ("n", "dims", "k", "knn_queries", "ball_queries",
+                "workers", "shards_initial", "shards_final", "tp_ratio"):
+        assert isinstance(rec[key], (int, float)), key
+    for side in ("mono", "sharded"):
+        for key in ("wall_s", "work", "depth", "t1", "tp", "speedup"):
+            assert isinstance(rec[side][key], (int, float)), (side, key)
+    for key in ("queries", "shard_visits", "shards", "mean_touched_frac"):
+        assert isinstance(rec["pruning"][key], (int, float)), key
+
+    # exactness is unconditional — sharding must never change answers
+    assert rec["knn_distances_equal"], "sharded kNN diverged from monolithic"
+    assert rec["ball_results_equal"], "sharded ball diverged from monolithic"
+
+    if FULL_SCALE:
+        frac = rec["pruning"]["mean_touched_frac"]
+        assert frac < MAX_TOUCHED_FRAC, (
+            f"pruning too weak: {frac:.1%} of shards touched per query "
+            f"(gate: < {MAX_TOUCHED_FRAC:.0%})"
+        )
+        assert rec["sharded"]["speedup"] >= rec["mono"]["speedup"], (
+            f"scatter-gather speedup {rec['sharded']['speedup']:.2f}x "
+            f"below monolithic {rec['mono']['speedup']:.2f}x at "
+            f"p={CLUSTER_WORKERS:g}"
+        )
+    run_once(benchmark, lambda: None)
+
+
 def teardown_module(module):
     root = Path(__file__).resolve().parent.parent
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -277,6 +338,21 @@ def teardown_module(module):
                 "max_enabled_ratio": MAX_TRACING_ENABLED_RATIO,
             },
             "runs": _obs_records,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    if _cluster_records:
+        out = root / "BENCH_cluster.json"
+        payload = {
+            "benchmark": "sharded index: scatter-gather + geometric pruning "
+                         "vs monolithic kd-tree",
+            "scale": scale,
+            "gates": {
+                "max_mean_touched_frac": MAX_TOUCHED_FRAC,
+                "min_speedup": "monolithic speedup at same p",
+                "workers": CLUSTER_WORKERS,
+            },
+            "runs": _cluster_records,
         }
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {out}")

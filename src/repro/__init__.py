@@ -21,6 +21,9 @@ Modules mirror the paper's architecture (Figure 1):
 * :mod:`repro.serve` — the in-process geometry query service: dynamic
   batching of single requests through the batched engine, versioned
   result caching, and bounded-queue backpressure.
+* :mod:`repro.cluster` — the sharded spatial index: Hilbert-range
+  partitioning, scatter-gather routing with geometric pruning, and
+  skew-triggered rebalancing behind the same query API.
 * :mod:`repro.obs` — observability: span-tree tracing over the
   fork-join runtime, Chrome-trace/summary exporters, and the unified
   metrics registry (``python -m repro profile ...``).
@@ -60,6 +63,7 @@ from .graphs import (
     knn_graph,
     wspd_spanner,
 )
+from .cluster import ShardedIndex
 from .hull import convex_hull
 from .kdtree import KDTree
 from .parlay import set_backend, use_backend
@@ -79,6 +83,7 @@ __all__ = [
     "KDTree",
     "PointSet",
     "RebuildTree",
+    "ShardedIndex",
     "ZdTree",
     "as_points",
     "bccp_points",

@@ -110,14 +110,26 @@ class BDLTree:
     # ------------------------------------------------------------------
     # batch insertion (paper Algorithm 3)
     # ------------------------------------------------------------------
-    def insert(self, points) -> np.ndarray:
-        """Insert a batch of points; returns their assigned global ids."""
+    def insert(self, points, gids=None) -> np.ndarray:
+        """Insert a batch of points; returns their assigned global ids.
+
+        ``gids`` optionally fixes the global ids of the batch (one per
+        point) instead of drawing fresh ones from the internal counter —
+        used by sharded indexes whose id space spans many BDL-trees.
+        """
         pts = as_array(points)
         if pts.shape[1] != self.dim:
             raise ValueError("dimension mismatch")
         m = len(pts)
-        gids = np.arange(self.next_gid, self.next_gid + m, dtype=np.int64)
-        self.next_gid += m
+        if gids is None:
+            gids = np.arange(self.next_gid, self.next_gid + m, dtype=np.int64)
+            self.next_gid += m
+        else:
+            gids = np.asarray(gids, dtype=np.int64)
+            if gids.shape != (m,):
+                raise ValueError("gids must have one id per inserted point")
+            if m:
+                self.next_gid = max(self.next_gid, int(gids.max()) + 1)
         if m == 0:
             return gids
         self._insert_with_ids(pts, gids)
@@ -248,6 +260,7 @@ class BDLTree:
         k: int,
         exclude_self: bool = False,
         engine: str | None = None,
+        bound: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """k nearest neighbors of each query across all trees.
 
@@ -255,11 +268,20 @@ class BDLTree:
         distance per row.  ``engine`` selects the per-tree search
         strategy (vectorized "batched" frontier vs per-query
         "recursive" walk); results and charges are identical.
+
+        ``bound`` is an optional per-query *exclusive* squared-distance
+        cutoff: candidates at ``d2 >= bound[i]`` are pruned and rows
+        may come back underfull (inf/-1 padded).  A sharded index's
+        fan-out phase uses it so shards outside the candidate ball
+        prune near the root instead of running a full search.  It is a
+        pruning hint only honored by the batched engine; the recursive
+        path ignores it (returning a superset is equally correct for
+        callers that merge).
         """
         from ..kdtree.batch import resolve_engine
 
         if resolve_engine(engine) == "batched":
-            return self._knn_batched(queries, k, exclude_self)
+            return self._knn_batched(queries, k, exclude_self, bound)
         qs = as_array(queries)
         m = len(qs)
         kk = k + 1 if exclude_self else k
@@ -285,7 +307,9 @@ class BDLTree:
 
         return extract_knn_results(buffers, k, exclude_self)
 
-    def _knn_batched(self, queries, k: int, exclude_self: bool) -> tuple[np.ndarray, np.ndarray]:
+    def _knn_batched(
+        self, queries, k: int, exclude_self: bool, bound: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Array-at-a-time k-NN: one batch buffer set shared across the
         log-structure's trees, then a vectorized buffer-tree scan."""
         from ..kdtree.batch import BatchKNNBuffers, batched_knn_into
@@ -294,6 +318,10 @@ class BDLTree:
         m = len(qs)
         kk = k + 1 if exclude_self else k
         buf = BatchKNNBuffers(m, kk)
+        if bound is not None:
+            # seed the pruning bound: the search only ever tightens it
+            # (_compact takes the max of the k best, all < the seed)
+            buf.bound[:] = np.asarray(bound, dtype=np.float64)
 
         for t in self.trees:
             if t is not None and t.size() > 0:

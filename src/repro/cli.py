@@ -77,10 +77,23 @@ def cmd_knn(args) -> int:
 
     pts = _load(args.input)
     t0 = time.perf_counter()
-    tree = KDTree(pts, split=args.split)
-    d, i = tree.knn(pts.coords, args.k, exclude_self=True, engine=args.engine)
-    dt = time.perf_counter() - t0
-    print(f"k-NN (k={args.k}) over {len(pts)} points in {dt:.3f}s ({args.engine} engine)")
+    if args.shards > 0:
+        from .cluster import ShardedIndex
+
+        index = ShardedIndex(pts.coords, args.shards)
+        d, i = index.knn(pts.coords, args.k, exclude_self=True, engine=args.engine)
+        dt = time.perf_counter() - t0
+        stats = index.pruning_stats()
+        print(
+            f"k-NN (k={args.k}) over {len(pts)} points in {dt:.3f}s "
+            f"({args.engine} engine, {index.n_shards} shards, "
+            f"{stats['mean_touched_frac']:.1%} shards touched/query)"
+        )
+    else:
+        tree = KDTree(pts, split=args.split)
+        d, i = tree.knn(pts.coords, args.k, exclude_self=True, engine=args.engine)
+        dt = time.perf_counter() - t0
+        print(f"k-NN (k={args.k}) over {len(pts)} points in {dt:.3f}s ({args.engine} engine)")
     if args.output:
         np.savetxt(args.output, i, fmt="%d", delimiter=",")
     return 0
@@ -185,6 +198,10 @@ def cmd_serve_replay(args) -> int:
         print(f"wrote {len(trace)} requests to {args.save_trace}")
 
     def build_index():
+        if args.shards > 0:
+            from .cluster import ShardedIndex
+
+            return ShardedIndex(coords, args.shards)
         if args.dynamic:
             bdl = BDLTree(dim=coords.shape[1])
             bdl.insert(coords)
@@ -199,7 +216,12 @@ def cmd_serve_replay(args) -> int:
     )
     service.register("data", build_index())
     report = replay(service, "data", trace)
-    kind = "BDLTree" if args.dynamic else "KDTree"
+    if args.shards > 0:
+        kind = f"ShardedIndex[{args.shards}]"
+    elif args.dynamic:
+        kind = "BDLTree"
+    else:
+        kind = "KDTree"
     print(f"serve-replay: {len(coords)} points ({kind}), {len(trace)} requests")
     print(report.summary())
     if args.metrics_out:
@@ -216,6 +238,34 @@ def cmd_serve_replay(args) -> int:
             f"unbatched loop (recursive engine): {dt:.3f}s "
             f"({len(trace) / dt:,.0f} req/s) -> service is {ratio:.2f}x faster"
         )
+    return 0
+
+
+def cmd_cluster_bench(args) -> int:
+    from .cluster import compare_cluster
+    from .cluster.bench import summary
+
+    pts = _load(args.input)
+    rec = compare_cluster(
+        pts.coords,
+        n_shards=args.shards,
+        k=args.k,
+        n_queries=args.queries,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    print(summary(rec))
+    if not (rec["knn_distances_equal"] and rec["ball_results_equal"]):
+        print("error: sharded results diverged from the monolithic tree",
+              file=sys.stderr)
+        return 1
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as f:
+            json.dump(rec, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.json_out}")
     return 0
 
 
@@ -284,6 +334,9 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--split", default="object", choices=["object", "spatial"])
     k.add_argument("--engine", default="batched", choices=["batched", "recursive"],
                    help="query execution engine (vectorized batch vs per-query walk)")
+    k.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="serve from a Hilbert-sharded index with N shards "
+                        "(0 = monolithic kd-tree)")
     k.add_argument("-o", "--output")
     k.set_defaults(fn=cmd_knn)
 
@@ -329,6 +382,9 @@ def build_parser() -> argparse.ArgumentParser:
     sr.add_argument("--save-trace", help="also write the replayed trace as JSONL")
     sr.add_argument("--dynamic", action="store_true",
                     help="serve from a BDLTree instead of a static KDTree")
+    sr.add_argument("--shards", type=int, default=0, metavar="N",
+                    help="serve from a Hilbert-sharded index with N shards "
+                         "(scatter-gather routing; 0 = unsharded)")
     sr.add_argument("--max-batch", type=int, default=256)
     sr.add_argument("--max-wait", type=float, default=0.002)
     sr.add_argument("--max-pending", type=int, default=4096)
@@ -339,6 +395,27 @@ def build_parser() -> argparse.ArgumentParser:
     sr.add_argument("--metrics-out", metavar="PATH",
                     help="write the post-run service metrics snapshot as JSON")
     sr.set_defaults(fn=cmd_serve_replay)
+
+    cb = sub.add_parser(
+        "cluster-bench",
+        help="compare a Hilbert-sharded index against the monolithic kd-tree",
+        description="Run the same kNN + ball-range workload against a "
+        "monolithic kd-tree and a ShardedIndex, reporting wall-clock, "
+        "work/depth charges, simulated T_p under the work-depth model, "
+        "and the scatter-gather pruning rate.",
+    )
+    cb.add_argument("input", help="point file the workload runs against")
+    cb.add_argument("--shards", type=int, default=16, metavar="N",
+                    help="shard count for the sharded side (default 16)")
+    cb.add_argument("-k", type=int, default=10, help="k for the kNN queries")
+    cb.add_argument("--queries", type=int, default=2000, metavar="N",
+                    help="number of kNN queries (plus N/2 ball queries)")
+    cb.add_argument("--workers", type=float, default=36,
+                    help="simulated cores for T_p (default: the paper's 36)")
+    cb.add_argument("--seed", type=int, default=0)
+    cb.add_argument("--json-out", metavar="PATH",
+                    help="also write the comparison record as JSON")
+    cb.set_defaults(fn=cmd_cluster_bench)
 
     pr = sub.add_parser(
         "profile",

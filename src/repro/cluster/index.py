@@ -1,0 +1,439 @@
+"""`ShardedIndex` — the sharded spatial index facade.
+
+Partitions a dataset into Hilbert-range shards
+(:class:`~repro.cluster.partitioner.HilbertPartitioner`), each a
+batch-dynamic :class:`~repro.cluster.shard.Shard`, and answers the full
+existing query API by scatter-gather with geometric pruning
+(:mod:`repro.cluster.router`):
+
+* **box / ball** — only shards whose bounding boxes intersect the query
+  region are visited;
+* **kNN** — two-phase: probe each query's *home shard* (the one its
+  Hilbert code routes to) for a candidate k-th distance, then fan out
+  only to shards whose box mindist is within that candidate ball, and
+  merge canonically.  The pruning invariant: a skipped shard has
+  ``mindist² > r²`` for the home shard's k-th candidate distance ``r``,
+  and every true top-k point lies within ``r`` of the query, so skipped
+  shards cannot contribute.
+
+The index is **batch-dynamic**: inserts and erases route per shard
+(routing is stable — the partitioner's quantization bounds are frozen
+at build), every mutation bumps the monotonic ``version`` counter (so
+:class:`~repro.serve.service.GeometryService`'s versioned result cache
+can never serve a stale answer), and shards whose size exceeds a skew
+threshold are split at their median Hilbert code.
+
+The query surface matches what :func:`repro.kdtree.batch.execute_requests`
+dispatches on (``dim`` / ``version`` / ``knn`` /
+``range_query_box[_batch]`` / ``range_query_ball[_batch]``), so a
+``ShardedIndex`` registers directly into ``GeometryService`` and the
+service's coalesced slabs scatter across shards transparently.  Global
+ids are returned everywhere; range results come back sorted ascending
+by id (the canonical gather order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.points import as_array
+from ..kdtree.batch import resolve_engine
+from ..obs.registry import MetricsRegistry
+from ..obs.span import span
+from ..parlay.scheduler import get_scheduler
+from ..parlay.workdepth import charge
+from .partitioner import HilbertPartitioner
+from .router import bbox_mindist2, merge_knn, plan_ball, plan_box, scatter
+from .shard import Shard
+
+__all__ = ["ShardedIndex"]
+
+#: Histogram buckets for the shards-touched-per-query fraction.
+_TOUCH_BUCKETS = tuple(i / 16 for i in range(1, 17))
+
+
+class ShardedIndex:
+    """A Hilbert-sharded, batch-dynamic spatial index.
+
+    Parameters
+    ----------
+    points:
+        (n, d) build set (also fixes the routing bounds).
+    n_shards:
+        Initial shard count (rebalancing may grow it).
+    bits:
+        Per-dimension Hilbert resolution (default ``62 // d``).
+    buffer_size, leaf_size:
+        Tuning constants of the per-shard BDL-trees.  ``buffer_size``
+        defaults to ``None`` — each shard auto-sizes its flush
+        threshold to its build batch so a fresh build leaves (almost)
+        nothing in the brute-force buffer.
+    skew_threshold:
+        A shard is split when its size exceeds
+        ``max(skew_threshold * mean_size, rebalance_min)``.
+    rebalance_min:
+        Absolute size floor below which shards are never split.
+    registry:
+        Metrics registry to publish shard gauges / pruning histograms
+        on (a private one is created when omitted).
+    """
+
+    def __init__(
+        self,
+        points,
+        n_shards: int = 8,
+        *,
+        bits: int | None = None,
+        buffer_size: int | None = None,
+        leaf_size: int = 16,
+        skew_threshold: float = 4.0,
+        rebalance_min: int = 1024,
+        registry: MetricsRegistry | None = None,
+    ):
+        pts = as_array(points)
+        n, d = pts.shape
+        if n == 0:
+            raise ValueError("ShardedIndex needs a non-empty build set")
+        if skew_threshold <= 1.0:
+            raise ValueError("skew_threshold must be > 1")
+        self.dim = d
+        self.buffer_size = buffer_size
+        self.leaf_size = leaf_size
+        self.skew_threshold = float(skew_threshold)
+        self.rebalance_min = int(rebalance_min)
+        self.part = HilbertPartitioner(pts, n_shards, bits=bits)
+        self.next_gid = n
+        # monotonic mutation counter (versioned result caches key on it)
+        self.version = 0
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        reg.gauge("cluster_shards", "live shard count").set_function(
+            lambda: len(self.shards)
+        )
+        reg.gauge("cluster_points", "live points across all shards").set_function(
+            self.size
+        )
+        reg.gauge("cluster_shard_size_max", "largest shard").set_function(
+            lambda: max((s.size() for s in self.shards), default=0)
+        )
+        reg.gauge("cluster_shard_size_min", "smallest shard").set_function(
+            lambda: min((s.size() for s in self.shards), default=0)
+        )
+        self._m_queries = reg.counter("cluster_queries", "queries routed")
+        self._m_visits = reg.counter(
+            "cluster_shard_visits", "shard visits summed over queries"
+        )
+        self._m_rebalances = reg.counter("cluster_rebalances", "shard splits")
+        self._m_touched = reg.histogram(
+            "cluster_touched_frac",
+            "fraction of shards touched per query",
+            buckets=_TOUCH_BUCKETS,
+        )
+
+        gids = np.arange(n, dtype=np.int64)
+        owner = self.part.route(pts)
+        S = self.part.n_shards
+        with span("cluster.build", cat="cluster", batch=n, shards=S):
+            self.shards: list[Shard] = get_scheduler().parallel_do(
+                [
+                    (
+                        lambda s=s: Shard(
+                            d,
+                            pts[owner == s],
+                            gids[owner == s],
+                            buffer_size=buffer_size,
+                            leaf_size=leaf_size,
+                        )
+                    )
+                    for s in range(S)
+                ]
+            )
+        self._maybe_rebalance()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        return sum(s.size() for s in self.shards)
+
+    def __len__(self) -> int:
+        return self.size()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_sizes(self) -> list[int]:
+        return [s.size() for s in self.shards]
+
+    def pruning_stats(self) -> dict:
+        """Aggregate pruning effectiveness since construction."""
+        q = self._m_queries.value
+        v = self._m_visits.value
+        return {
+            "queries": int(q),
+            "shard_visits": int(v),
+            "shards": len(self.shards),
+            "mean_touched_frac": (v / (q * len(self.shards))) if q else 0.0,
+        }
+
+    def _boxes(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.stack([s.lo for s in self.shards]),
+            np.stack([s.hi for s in self.shards]),
+        )
+
+    def _occupied(self) -> np.ndarray:
+        return np.array([s.size() > 0 for s in self.shards])
+
+    def _observe(self, touched: np.ndarray) -> None:
+        S = len(self.shards)
+        self._m_queries.inc(len(touched))
+        self._m_visits.inc(float(touched.sum()))
+        for f in touched / S:
+            self._m_touched.observe(float(f))
+
+    # ------------------------------------------------------------------
+    # two-phase kNN
+    # ------------------------------------------------------------------
+    def knn(
+        self,
+        queries,
+        k: int,
+        exclude_self: bool = False,
+        engine: str | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """k nearest neighbors of each query: (sq-dists, global ids), (m, k).
+
+        Rows are sorted by distance with ties broken by ascending global
+        id — the canonical merge order, independent of the sharding.
+        """
+        engine = resolve_engine(engine)
+        qs = as_array(queries)
+        m = len(qs)
+        kk = k + 1 if exclude_self else k
+        if m == 0:
+            return np.empty((0, k)), np.empty((0, k), dtype=np.int64)
+
+        with span("cluster.knn", cat="cluster", batch=m, shards=len(self.shards)):
+            home = self.part.route(qs)
+            probe = np.zeros((m, len(self.shards)), dtype=bool)
+            probe[np.arange(m), home] = True
+
+            def run_knn(s: int, qidx: np.ndarray):
+                return self.shards[s].tree.knn(
+                    qs[qidx], kk, exclude_self=False, engine=engine
+                )
+
+            # phase 1: probe each query's home shard for a candidate
+            # kk-th distance (inf when the home shard is underfull)
+            probe_out = scatter(probe, run_knn, "knn.probe")
+            r2 = np.full(m, np.inf)
+            parts = []
+            for _, qidx, (d2, gid) in probe_out:
+                r2[qidx] = d2[:, kk - 1]
+                parts.append((qidx, d2, gid))
+
+            # phase 2: fan out only to shards whose box intersects the
+            # candidate ball (<= keeps boundary ties safe).  The search
+            # is seeded with the candidate radius — nextafter keeps
+            # d2 == r2 ties — so non-contributing shards prune near
+            # their root instead of running a full search.
+            lo, hi = self._boxes()
+            fan = bbox_mindist2(lo, hi, qs) <= r2[:, None]
+            fan &= self._occupied()[None, :]
+            fan[np.arange(m), home] = False
+            cutoff = np.nextafter(r2, np.inf)
+
+            def run_fanout(s: int, qidx: np.ndarray):
+                return self.shards[s].tree.knn(
+                    qs[qidx], kk, exclude_self=False, engine=engine,
+                    bound=cutoff[qidx],
+                )
+
+            for _, qidx, res in scatter(fan, run_fanout, "knn.fanout"):
+                parts.append((qidx, res[0], res[1]))
+
+            d2, gid = merge_knn(m, kk, parts)
+            self._observe(1 + fan.sum(axis=1))
+
+        if not exclude_self:
+            return d2, gid
+        # same drop rule as the monolithic extract: shift out the
+        # closest hit when it is the query point itself
+        hit = (gid[:, 0] >= 0) & (d2[:, 0] <= 1e-18)
+        cols = np.where(hit, 1, 0)[:, None] + np.arange(k)[None, :]
+        return np.take_along_axis(d2, cols, axis=1), np.take_along_axis(
+            gid, cols, axis=1
+        )
+
+    # ------------------------------------------------------------------
+    # pruned range search
+    # ------------------------------------------------------------------
+    def range_query_box_batch(self, los, his) -> list[np.ndarray]:
+        """Per-query global ids inside closed boxes, sorted ascending."""
+        los = np.atleast_2d(np.asarray(los, dtype=np.float64))
+        his = np.atleast_2d(np.asarray(his, dtype=np.float64))
+        m = len(los)
+        if m == 0:
+            return []
+        with span("cluster.box", cat="cluster", batch=m, shards=len(self.shards)):
+            lo, hi = self._boxes()
+            mask = plan_box(lo, hi, los, his) & self._occupied()[None, :]
+
+            def run(s: int, qidx: np.ndarray):
+                return self.shards[s].tree.range_query_box_batch(
+                    los[qidx], his[qidx]
+                )
+
+            out = self._gather_range(m, scatter(mask, run, "box"))
+            self._observe(mask.sum(axis=1))
+        return out
+
+    def range_query_ball_batch(self, centers, radii) -> list[np.ndarray]:
+        """Per-query global ids within the radii, sorted ascending."""
+        cs = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        m = len(cs)
+        if m == 0:
+            return []
+        rr = np.broadcast_to(np.asarray(radii, dtype=np.float64), (m,))
+        with span("cluster.ball", cat="cluster", batch=m, shards=len(self.shards)):
+            lo, hi = self._boxes()
+            mask = plan_ball(lo, hi, cs, np.square(rr)) & self._occupied()[None, :]
+
+            def run(s: int, qidx: np.ndarray):
+                return self.shards[s].tree.range_query_ball_batch(cs[qidx], rr[qidx])
+
+            out = self._gather_range(m, scatter(mask, run, "ball"))
+            self._observe(mask.sum(axis=1))
+        return out
+
+    def range_query_box(self, lo, hi) -> np.ndarray:
+        return self.range_query_box_batch([lo], [hi])[0]
+
+    def range_query_ball(self, center, radius: float) -> np.ndarray:
+        return self.range_query_ball_batch([center], [radius])[0]
+
+    @staticmethod
+    def _gather_range(m: int, parts) -> list[np.ndarray]:
+        hits: list[list[np.ndarray]] = [[] for _ in range(m)]
+        total = 0
+        for _, qidx, res in parts:
+            for i, g in zip(qidx, res):
+                if len(g):
+                    hits[i].append(g)
+                    total += len(g)
+        charge(total + m)  # canonical ascending-gid merge
+        return [
+            np.sort(np.concatenate(p)) if p else np.empty(0, dtype=np.int64)
+            for p in hits
+        ]
+
+    # ------------------------------------------------------------------
+    # batch-dynamic mutation
+    # ------------------------------------------------------------------
+    def insert(self, points, gids=None) -> np.ndarray:
+        """Insert a batch, routed per shard; returns the global ids."""
+        pts = as_array(points)
+        if pts.shape[1] != self.dim:
+            raise ValueError("dimension mismatch")
+        me = len(pts)
+        if gids is None:
+            gids = np.arange(self.next_gid, self.next_gid + me, dtype=np.int64)
+            self.next_gid += me
+        else:
+            gids = np.asarray(gids, dtype=np.int64)
+            if gids.shape != (me,):
+                raise ValueError("gids must have one id per inserted point")
+            if me:
+                self.next_gid = max(self.next_gid, int(gids.max()) + 1)
+        if me == 0:
+            return gids
+        with span("cluster.insert", cat="cluster", batch=me):
+            owner = self.part.route(pts)
+            targets = np.unique(owner)
+            get_scheduler().parallel_do(
+                [
+                    (
+                        lambda s=s: self.shards[s].insert(
+                            pts[owner == s], gids[owner == s]
+                        )
+                    )
+                    for s in targets
+                ]
+            )
+            self.version += 1
+            self._maybe_rebalance()
+        return gids
+
+    def erase(self, points) -> int:
+        """Erase a batch by coordinates; returns #deleted.
+
+        Equal coordinates share a Hilbert code and therefore a shard,
+        so the per-shard erase deletes exactly the points a monolithic
+        erase would.
+        """
+        pts = as_array(points)
+        if pts.shape[1] != self.dim:
+            raise ValueError("dimension mismatch")
+        if len(pts) == 0:
+            return 0
+        with span("cluster.erase", cat="cluster", batch=len(pts)):
+            owner = self.part.route(pts)
+            targets = np.unique(owner)
+            counts = get_scheduler().parallel_do(
+                [
+                    (lambda s=s: self.shards[s].erase(pts[owner == s]))
+                    for s in targets
+                ]
+            )
+            deleted = int(sum(counts))
+            if deleted:
+                self.version += 1
+        return deleted
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+    def _maybe_rebalance(self) -> None:
+        """Split overfull shards at their median Hilbert code."""
+        changed = True
+        while changed:
+            changed = False
+            sizes = np.array([s.size() for s in self.shards], dtype=np.int64)
+            total = int(sizes.sum())
+            if total == 0:
+                return
+            limit = max(
+                self.skew_threshold * total / len(self.shards),
+                float(self.rebalance_min),
+            )
+            for s in np.argsort(sizes)[::-1]:
+                if sizes[s] <= limit:
+                    break
+                if self._split_shard(int(s)):
+                    changed = True
+                    break  # shard indices shifted; re-plan
+
+    def _split_shard(self, s: int) -> bool:
+        pts, gids = self.shards[s].gather()
+        if len(pts) < 2:
+            return False
+        v = self.part.split_value(pts)
+        if v is None:
+            return False  # single-code shard: unsplittable
+        self.part.insert_threshold(v, s)
+        owner = self.part.route(pts)  # yields s (left) or s + 1 (right)
+        left = owner == s
+        mk = lambda sel: Shard(
+            self.dim,
+            pts[sel],
+            gids[sel],
+            buffer_size=self.buffer_size,
+            leaf_size=self.leaf_size,
+        )
+        self.shards[s : s + 1] = [mk(left), mk(~left)]
+        self._m_rebalances.inc()
+        self.version += 1
+        return True

@@ -357,10 +357,15 @@ def _frontier_knn(
             ok = (second >= 0) & (_live_at(tree, second) > 0)
             srow, second = srow[ok], second[ok]
             if len(srow):
-                notfull = buf.count[qids[srow]] < buf.k
+                # still filling AND no externally seeded bound: descend
+                # unconditionally (paper C.1.3).  A seeded row (finite
+                # bound before the buffer fills) must keep pruning even
+                # while underfull — that is the point of the seed.
+                notfull = (buf.count[qids[srow]] < buf.k) & np.isinf(
+                    buf.bound[qids[srow]]
+                )
                 prow = srow[notfull]
                 if len(prow):
-                    # still filling: descend unconditionally (paper C.1.3)
                     stack[prow, sp[prow]] = second[notfull] << 1
                     sp[prow] += 1
                 frow, fnode = srow[~notfull], second[~notfull]

@@ -1,9 +1,12 @@
-"""Hilbert-curve spatial ordering (2D and 3D).
+"""Hilbert-curve spatial ordering (any dimension >= 2).
 
 The Hilbert curve preserves locality strictly better than the Z-order
 curve (no long diagonal jumps), at the cost of a more expensive index
 computation.  Implemented with the classical bitwise transpose
-algorithm (Skilling's method), vectorized over numpy arrays.
+algorithm (Skilling's method), vectorized over numpy arrays.  The
+transpose algorithm is dimension-generic, so codes are available for
+any ``d >= 2`` as long as the interleaved index fits 63 bits
+(``bits * d <= 63``).
 """
 
 from __future__ import annotations
@@ -64,24 +67,43 @@ def _transpose_to_hilbert_int(x: np.ndarray, bits: int) -> np.ndarray:
     return codes
 
 
-def hilbert_codes(points, bits: int | None = None) -> np.ndarray:
-    """Hilbert index of each point (uint64); d must be 2 or 3."""
+def hilbert_codes(points, bits: int | None = None, bounds=None) -> np.ndarray:
+    """Hilbert index of each point (uint64), for any ``d >= 2``.
+
+    ``bits`` is the per-dimension resolution (default fills 62 bits:
+    ``62 // d``); ``bits * d`` must stay ``<= 63``.
+
+    ``bounds`` optionally fixes the quantization box as ``(lo, hi)``
+    arrays of shape (d,).  By default the box is the data's bounding
+    box, which makes codes a function of the *point set*; passing
+    explicit bounds makes the code of each point independent of its
+    companions — what a sharded index needs so that points inserted
+    later route to the same Hilbert range as the build did.  Points
+    outside the box clamp onto its surface.
+    """
     pts = as_array(points)
     n, d = pts.shape
-    if d not in (2, 3):
-        raise ValueError("hilbert_codes supports 2 or 3 dimensions")
+    if d < 2:
+        raise ValueError("hilbert_codes needs at least 2 dimensions")
+    if bits is None:
+        bits = max(1, 62 // d)
+    if bits < 1 or bits * d > 63:
+        raise ValueError("bits must be >= 1 with bits * dim <= 63")
     if n == 0:
         return np.empty(0, dtype=np.uint64)
-    if bits is None:
-        bits = 62 // d
-    if bits * d > 63:
-        raise ValueError("bits * dim must be <= 63")
-    lo = pts.min(axis=0)
-    hi = pts.max(axis=0)
+    if bounds is None:
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+    else:
+        lo = np.asarray(bounds[0], dtype=np.float64)
+        hi = np.asarray(bounds[1], dtype=np.float64)
+        if lo.shape != (d,) or hi.shape != (d,):
+            raise ValueError(f"bounds must be (lo, hi) arrays of shape ({d},)")
     span = np.where(hi > lo, hi - lo, 1.0)
     scale = (1 << bits) - 1
-    q = ((pts - lo) / span * scale).astype(np.uint64)
-    np.clip(q, 0, scale, out=q)
+    # clamp in float space *before* the unsigned cast so out-of-box
+    # points (insert routing) land on the near face, not wrap around
+    q = np.clip((pts - lo) / span * scale, 0, scale).astype(np.uint64)
     charge(n * bits * d)
     return _transpose_to_hilbert_int(q, bits)
 

@@ -118,6 +118,7 @@ class TestReadmeQuickstart:
             "repro.bench",
             "repro.obs",
             "repro.serve",
+            "repro.cluster",
         ):
             m = importlib.import_module(mod)
             for name in getattr(m, "__all__", []):
@@ -132,3 +133,29 @@ class TestReadmeQuickstart:
             if callable(getattr(repro, name)) and not getattr(repro, name).__doc__
         ]
         assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+class TestCLIHelp:
+    """The documented subcommands and flags exist in the parser."""
+
+    def test_top_level_subcommands(self):
+        from repro.cli import build_parser
+
+        text = build_parser().format_help()
+        for cmd in ("generate", "hull", "knn", "serve-replay",
+                    "cluster-bench", "profile"):
+            assert cmd in text, f"subcommand {cmd} missing from help"
+
+    def test_shards_flag_on_knn_and_serve_replay(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if a.__class__.__name__ == "_SubParsersAction"
+        )
+        for cmd in ("knn", "serve-replay"):
+            assert "--shards" in sub.choices[cmd].format_help(), cmd
+        bench_help = sub.choices["cluster-bench"].format_help()
+        for flag in ("--shards", "--workers", "--json-out"):
+            assert flag in bench_help, flag

@@ -38,11 +38,31 @@ class TestHilbert:
             gm = np.linalg.norm(np.diff(morton_sort(pts), axis=0), axis=1).mean()
             assert gh < gm
 
+    def test_better_locality_than_morton_high_dims(self):
+        """Skilling's transpose is dimension-generic: in 4D/5D the
+        Hilbert order still beats Z-order on mean neighbor gap."""
+        for d in (4, 5):
+            pts = uniform(4000, d, seed=11).coords
+            gh = np.linalg.norm(np.diff(hilbert_sort(pts), axis=0), axis=1).mean()
+            gm = np.linalg.norm(np.diff(morton_sort(pts), axis=0), axis=1).mean()
+            assert gh < gm
+
+    def test_high_dim_codes_are_valid(self, rng):
+        """d >= 4 is accepted; codes are deterministic and fit the
+        default bits budget (bits * d <= 63)."""
+        for d in (4, 5, 8):
+            pts = rng.normal(size=(200, d))
+            c = hilbert_codes(pts)
+            assert c.dtype == np.uint64
+            assert np.array_equal(c, hilbert_codes(pts))
+
     def test_rejects_bad_dims(self, rng):
         with pytest.raises(ValueError):
-            hilbert_codes(rng.normal(size=(5, 4)))
+            hilbert_codes(rng.normal(size=(5, 1)))  # d < 2
         with pytest.raises(ValueError):
-            hilbert_codes(rng.normal(size=(5, 2)), bits=40)
+            hilbert_codes(rng.normal(size=(5, 2)), bits=40)  # 80 > 63 bits
+        with pytest.raises(ValueError):
+            hilbert_codes(rng.normal(size=(5, 4)), bits=16)  # 64 > 63 bits
 
     def test_empty(self):
         assert len(hilbert_codes(np.empty((0, 2)))) == 0

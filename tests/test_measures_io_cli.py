@@ -172,6 +172,41 @@ class TestCLI:
         assert self._run("serve-replay", f, "--trace", trace, "--dynamic") == 0
         assert "60/60 requests" in capsys.readouterr().out
 
+    def test_knn_sharded_matches_monolithic(self, tmp_path, capsys):
+        f = str(tmp_path / "p.npy")
+        self._run("generate", "2D-U-400", "-o", f)
+        mono = str(tmp_path / "nn_mono.csv")
+        shard = str(tmp_path / "nn_shard.csv")
+        assert self._run("knn", f, "-k", "4", "-o", mono) == 0
+        assert self._run("knn", f, "-k", "4", "--shards", "8", "-o", shard) == 0
+        out = capsys.readouterr().out
+        assert "8 shards" in out and "shards touched/query" in out
+        assert np.array_equal(
+            np.loadtxt(mono, delimiter=","), np.loadtxt(shard, delimiter=",")
+        )
+
+    def test_serve_replay_sharded(self, tmp_path, capsys):
+        f = str(tmp_path / "p.npy")
+        self._run("generate", "2D-V-400", "-o", f)
+        assert self._run("serve-replay", f, "--synthetic", "40",
+                         "--shards", "8") == 0
+        out = capsys.readouterr().out
+        assert "ShardedIndex[8]" in out and "40/40 requests" in out
+
+    def test_cluster_bench(self, tmp_path, capsys):
+        f = str(tmp_path / "p.npy")
+        self._run("generate", "2D-V-600", "-o", f)
+        rec = str(tmp_path / "bench.json")
+        assert self._run("cluster-bench", f, "--shards", "8",
+                         "--queries", "80", "--json-out", rec) == 0
+        out = capsys.readouterr().out
+        assert "cluster-bench:" in out and "scatter-gather" in out
+        import json
+
+        data = json.loads(open(rec).read())
+        assert data["knn_distances_equal"] and data["ball_results_equal"]
+        assert 0 < data["pruning"]["mean_touched_frac"] <= 1.0
+
 
 class TestRNGGraph:
     def test_rng_is_beta2(self, rng):

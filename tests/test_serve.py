@@ -479,3 +479,46 @@ def test_cache_never_stale_under_interleaved_mutations(ops, seed):
         dr, ir = bdl.knn(q[None, :], k, engine="recursive")
         assert np.array_equal(d, dr[0]), "stale cached distances"
         assert np.array_equal(i, ir[0]), "stale cached neighbors"
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "erase", "query"]),
+                  st.integers(0, 10**6)),
+        min_size=3, max_size=10,
+    ),
+    seed=st.integers(0, 10**6),
+)
+def test_cache_never_stale_with_sharded_index(ops, seed):
+    """Same never-stale property through a ShardedIndex: a batch insert
+    or erase lands in *one or a few shards* but must bump the facade's
+    version, so the service cache can never replay a pre-mutation
+    answer."""
+    from repro.cluster import ShardedIndex
+
+    rng = np.random.default_rng(seed)
+    pool = rng.uniform(0, 100, (400, 2))
+    idx = ShardedIndex(pool[:64], 4)
+    inserted = 64
+    svc = GeometryService(max_batch=64, cache_capacity=256)
+    svc.register("data", idx)
+    queries = pool[:8]  # fixed query points -> repeats exercise the cache
+
+    for op, x in ops:
+        if op == "insert" and inserted < len(pool):
+            m = min(1 + x % 32, len(pool) - inserted)
+            v0 = idx.version
+            idx.insert(pool[inserted:inserted + m])
+            assert idx.version > v0, "insert must bump the facade version"
+            inserted += m
+        elif op == "erase" and len(idx) > 8:
+            m = 1 + x % min(16, len(idx) - 4)
+            start = x % max(inserted - m, 1)
+            idx.erase(pool[start:start + m])
+        q = queries[x % len(queries)]
+        k = min(3, len(idx))
+        d, i = svc.knn("data", q, k)
+        dr, ir = idx.knn(q[None, :], k, engine="recursive")
+        assert np.array_equal(d, dr[0]), "stale cached distances"
+        assert np.array_equal(i, ir[0]), "stale cached neighbors"
