@@ -29,6 +29,15 @@ requires (at full scale) a mean shards-touched fraction < 60% and a
 simulated scatter-gather speedup at p = 36 at least the monolithic
 tree's, with bitwise-equal results.  Results land in
 ``BENCH_cluster.json``.
+
+Process gate: runs the same scatter-gather workload under the real
+``processes`` backend at p = 1, 2, 4 via
+``repro.cluster.bench.compare_procs`` and records measured wall-clock
+speedup next to the simulated ``T_p`` number in ``BENCH_procs.json``.
+Bitwise equality against the monolithic tree is unconditional; the
+wall-clock assertions (measured speedup > 1.5x at >= 4 workers,
+monotone-ish in p) only fire when the gate machine actually has >= 4
+cores — the JSON records whether the gate was applied and why.
 """
 
 import json
@@ -63,10 +72,18 @@ CLUSTER_SHARDS = 16
 CLUSTER_WORKERS = 36.0
 MAX_TOUCHED_FRAC = 0.6                 # mean shards touched per query
 
+PROCS_N = bench_scale(20_000)          # points in the processes gate
+PROCS_QUERIES = bench_scale(2_000)
+PROCS_SHARDS = 8
+PROCS_LADDER = (1, 2, 4)
+MIN_PROCS_SPEEDUP = 1.5                # measured, at >= 4 workers
+MIN_PROCS_CORES = 4                    # wall-clock gate needs real cores
+
 _records: dict[str, dict] = {}
 _serve_records: dict[str, dict] = {}
 _obs_records: dict[str, dict] = {}
 _cluster_records: dict[str, dict] = {}
+_procs_records: dict[str, dict] = {}
 
 
 def _bench(benchmark, ds_name: str):
@@ -316,6 +333,67 @@ def test_cluster_scatter_gather(benchmark):
     run_once(benchmark, lambda: None)
 
 
+def test_procs_measured_speedup(benchmark):
+    """Processes-backend gate: real wall-clock speedup must tell the
+    same qualitative story as the simulated ``T_p`` number.  Exactness
+    (bitwise vs the monolithic tree) and work/depth invariance across
+    ``p`` are unconditional; the measured-speedup assertions only apply
+    on machines with enough cores to show one."""
+    from repro.cluster.bench import compare_procs, summary_procs
+
+    pts = data(f"2D-V-{PROCS_N}")
+    rec = compare_procs(
+        pts,
+        n_shards=PROCS_SHARDS,
+        k=K,
+        n_queries=PROCS_QUERIES,
+        procs=PROCS_LADDER,
+    )
+    cores = rec["cpu_count"]
+    gated = FULL_SCALE and cores >= MIN_PROCS_CORES
+    rec["gate"] = {
+        "applied": gated,
+        "reason": (
+            "full scale, enough cores" if gated
+            else f"cpu_count={cores} < {MIN_PROCS_CORES}" if FULL_SCALE
+            else "reduced scale"
+        ),
+        "min_measured_speedup": MIN_PROCS_SPEEDUP,
+        "min_cores": MIN_PROCS_CORES,
+    }
+    _procs_records["v_clustered"] = rec
+    print("\n" + summary_procs(rec))
+
+    # exactness is unconditional — real parallelism must never change
+    # answers, no matter how many processes served the slabs
+    assert rec["knn_distances_equal"], "processes backend diverged on kNN"
+    assert rec["ball_results_equal"], "processes backend diverged on ball"
+
+    # the cost model is machine-independent: every p charges the same
+    # work/depth, so T_p simulation is a pure function of p
+    runs = rec["runs"]
+    charges = {(r["work"], r["depth"]) for r in runs.values()}
+    assert len(charges) == 1, f"work/depth drifted across p: {charges}"
+    sims = [runs[str(p)]["sim_speedup"] for p in PROCS_LADDER]
+    assert all(b >= a for a, b in zip(sims, sims[1:])), (
+        f"simulated speedup not monotone in p: {sims}"
+    )
+
+    if gated:
+        top = runs[str(max(PROCS_LADDER))]
+        assert top["measured_speedup"] > MIN_PROCS_SPEEDUP, (
+            f"measured speedup only {top['measured_speedup']:.2f}x at "
+            f"p={max(PROCS_LADDER)} (gate requires > {MIN_PROCS_SPEEDUP}x "
+            f"on a {cores}-core machine)"
+        )
+        # monotone-ish: each step up in p must not lose more than 20%
+        meas = [runs[str(p)]["measured_speedup"] for p in PROCS_LADDER]
+        assert all(b >= 0.8 * a for a, b in zip(meas, meas[1:])), (
+            f"measured speedup regressed with more workers: {meas}"
+        )
+    run_once(benchmark, lambda: None)
+
+
 def teardown_module(module):
     root = Path(__file__).resolve().parent.parent
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -353,6 +431,21 @@ def teardown_module(module):
                 "workers": CLUSTER_WORKERS,
             },
             "runs": _cluster_records,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    if _procs_records:
+        out = root / "BENCH_procs.json"
+        payload = {
+            "benchmark": "processes backend: measured vs simulated "
+                         "scatter-gather speedup",
+            "scale": scale,
+            "gates": {
+                "min_measured_speedup": MIN_PROCS_SPEEDUP,
+                "at_workers": max(PROCS_LADDER),
+                "min_cores": MIN_PROCS_CORES,
+            },
+            "runs": _procs_records,
         }
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {out}")

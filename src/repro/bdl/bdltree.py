@@ -72,6 +72,39 @@ class BDLTree:
         # repro.serve — rely on it to never serve stale answers)
         self.version = 0
 
+    @classmethod
+    def _from_parts(
+        cls,
+        *,
+        dim: int,
+        buffer_size: int,
+        split: str,
+        leaf_size: int,
+        next_gid: int,
+        version: int,
+        buf_pts: np.ndarray,
+        buf_gids: np.ndarray,
+        trees: list[KDTree | None],
+    ) -> "BDLTree":
+        """Reassemble a BDL-tree around existing state (no copies, no build).
+
+        Used by :mod:`repro.cluster.snapshot` to reconstruct a read-only
+        queryable view inside worker processes from shared-memory-backed
+        arrays.  The caller owns the lifetime of the arrays; the result
+        must not be mutated.
+        """
+        self = cls.__new__(cls)
+        self.dim = dim
+        self.X = buffer_size
+        self.split = split
+        self.leaf_size = leaf_size
+        self.buf_pts = buf_pts
+        self.buf_gids = buf_gids
+        self.trees = trees
+        self.next_gid = next_gid
+        self.version = version
+        return self
+
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------

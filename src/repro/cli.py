@@ -24,6 +24,18 @@ import time
 import numpy as np
 
 
+def _use_backend(args):
+    """Context manager honoring a subcommand's ``--backend`` flag."""
+    from contextlib import nullcontext
+
+    backend = getattr(args, "backend", None)
+    if not backend:
+        return nullcontext()
+    from .parlay.scheduler import use_backend
+
+    return use_backend(backend)
+
+
 def _load(path: str):
     """Load a point file, exiting 2 with a one-line message on bad input."""
     from .generators.io import load_points
@@ -76,24 +88,30 @@ def cmd_knn(args) -> int:
     from .kdtree import KDTree
 
     pts = _load(args.input)
-    t0 = time.perf_counter()
-    if args.shards > 0:
-        from .cluster import ShardedIndex
+    with _use_backend(args):
+        t0 = time.perf_counter()
+        if args.shards > 0:
+            from .cluster import ShardedIndex
 
-        index = ShardedIndex(pts.coords, args.shards)
-        d, i = index.knn(pts.coords, args.k, exclude_self=True, engine=args.engine)
-        dt = time.perf_counter() - t0
-        stats = index.pruning_stats()
-        print(
-            f"k-NN (k={args.k}) over {len(pts)} points in {dt:.3f}s "
-            f"({args.engine} engine, {index.n_shards} shards, "
-            f"{stats['mean_touched_frac']:.1%} shards touched/query)"
-        )
-    else:
-        tree = KDTree(pts, split=args.split)
-        d, i = tree.knn(pts.coords, args.k, exclude_self=True, engine=args.engine)
-        dt = time.perf_counter() - t0
-        print(f"k-NN (k={args.k}) over {len(pts)} points in {dt:.3f}s ({args.engine} engine)")
+            index = ShardedIndex(pts.coords, args.shards)
+            d, i = index.knn(
+                pts.coords, args.k, exclude_self=True, engine=args.engine
+            )
+            dt = time.perf_counter() - t0
+            stats = index.pruning_stats()
+            print(
+                f"k-NN (k={args.k}) over {len(pts)} points in {dt:.3f}s "
+                f"({args.engine} engine, {index.n_shards} shards, "
+                f"{stats['mean_touched_frac']:.1%} shards touched/query)"
+            )
+        else:
+            tree = KDTree(pts, split=args.split)
+            d, i = tree.knn(
+                pts.coords, args.k, exclude_self=True, engine=args.engine
+            )
+            dt = time.perf_counter() - t0
+            print(f"k-NN (k={args.k}) over {len(pts)} points in {dt:.3f}s "
+                  f"({args.engine} engine)")
     if args.output:
         np.savetxt(args.output, i, fmt="%d", delimiter=",")
     return 0
@@ -208,53 +226,68 @@ def cmd_serve_replay(args) -> int:
             return bdl
         return KDTree(coords)
 
-    service = GeometryService(
-        max_batch=args.max_batch,
-        max_wait=args.max_wait,
-        max_pending=args.max_pending,
-        cache_capacity=args.cache,
-    )
-    service.register("data", build_index())
-    report = replay(service, "data", trace)
-    if args.shards > 0:
-        kind = f"ShardedIndex[{args.shards}]"
-    elif args.dynamic:
-        kind = "BDLTree"
-    else:
-        kind = "KDTree"
-    print(f"serve-replay: {len(coords)} points ({kind}), {len(trace)} requests")
-    print(report.summary())
-    if args.metrics_out:
-        _write_metrics(args.metrics_out, service)
-        print(f"wrote metrics snapshot to {args.metrics_out}")
-
-    if args.compare:
-        index = build_index()  # fresh index: same starting state as the service
-        t0 = time.perf_counter()
-        run_unbatched(index, trace)
-        dt = time.perf_counter() - t0
-        ratio = dt / report.seconds if report.seconds > 0 else float("inf")
-        print(
-            f"unbatched loop (recursive engine): {dt:.3f}s "
-            f"({len(trace) / dt:,.0f} req/s) -> service is {ratio:.2f}x faster"
+    with _use_backend(args):
+        service = GeometryService(
+            max_batch=args.max_batch,
+            max_wait=args.max_wait,
+            max_pending=args.max_pending,
+            cache_capacity=args.cache,
         )
+        service.register("data", build_index())
+        report = replay(service, "data", trace)
+        if args.shards > 0:
+            kind = f"ShardedIndex[{args.shards}]"
+        elif args.dynamic:
+            kind = "BDLTree"
+        else:
+            kind = "KDTree"
+        print(f"serve-replay: {len(coords)} points ({kind}), "
+              f"{len(trace)} requests")
+        print(report.summary())
+        if args.metrics_out:
+            _write_metrics(args.metrics_out, service)
+            print(f"wrote metrics snapshot to {args.metrics_out}")
+
+        if args.compare:
+            index = build_index()  # fresh index: same state as the service
+            t0 = time.perf_counter()
+            run_unbatched(index, trace)
+            dt = time.perf_counter() - t0
+            ratio = dt / report.seconds if report.seconds > 0 else float("inf")
+            print(
+                f"unbatched loop (recursive engine): {dt:.3f}s "
+                f"({len(trace) / dt:,.0f} req/s) -> service is {ratio:.2f}x faster"
+            )
     return 0
 
 
 def cmd_cluster_bench(args) -> int:
     from .cluster import compare_cluster
-    from .cluster.bench import summary
+    from .cluster.bench import compare_procs, summary, summary_procs
 
     pts = _load(args.input)
-    rec = compare_cluster(
-        pts.coords,
-        n_shards=args.shards,
-        k=args.k,
-        n_queries=args.queries,
-        workers=args.workers,
-        seed=args.seed,
-    )
-    print(summary(rec))
+    if args.procs:
+        ladder = tuple(int(p) for p in args.procs.split(","))
+        rec = compare_procs(
+            pts.coords,
+            n_shards=args.shards,
+            k=args.k,
+            n_queries=args.queries,
+            procs=ladder,
+            seed=args.seed,
+        )
+        print(summary_procs(rec))
+    else:
+        with _use_backend(args):
+            rec = compare_cluster(
+                pts.coords,
+                n_shards=args.shards,
+                k=args.k,
+                n_queries=args.queries,
+                workers=args.workers,
+                seed=args.seed,
+            )
+        print(summary(rec))
     if not (rec["knn_distances_equal"] and rec["ball_results_equal"]):
         print("error: sharded results diverged from the monolithic tree",
               file=sys.stderr)
@@ -285,11 +318,17 @@ def cmd_profile(args) -> int:
         print("error: profile cannot wrap itself", file=sys.stderr)
         return 2
 
+    from .parlay.scheduler import get_scheduler
+
     inner = build_parser().parse_args(cmd)
     tracker.reset()
     with trace(f"cli.{cmd[0]}",
                max_spans=args.max_spans or DEFAULT_MAX_SPANS) as rec:
         rc = inner.fn(inner)
+    sched = get_scheduler()
+    print(f"\nactive backend: {sched.backend} ({sched.workers} workers)"
+          + (f" [inner run used --backend {inner.backend}]"
+             if getattr(inner, "backend", None) else ""))
     spans = rec.spans()
     obj = write_chrome_trace(args.trace_out, spans,
                              workers=args.workers, name=f"repro {cmd[0]}")
@@ -301,6 +340,16 @@ def cmd_profile(args) -> int:
           f"({len(spans)} spans{dropped}) to {args.trace_out} "
           f"-- load in https://ui.perfetto.dev")
     return rc
+
+
+def _add_backend_arg(sp) -> None:
+    from .parlay.scheduler import BACKENDS
+
+    sp.add_argument(
+        "--backend", choices=list(BACKENDS), default=None,
+        help="scheduler backend to run under (default: the ambient "
+             "backend, REPRO_BACKEND or sequential)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -338,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve from a Hilbert-sharded index with N shards "
                         "(0 = monolithic kd-tree)")
     k.add_argument("-o", "--output")
+    _add_backend_arg(k)
     k.set_defaults(fn=cmd_knn)
 
     e = sub.add_parser("emst", help="Euclidean minimum spanning tree")
@@ -394,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also time the one-request-at-a-time recursive loop")
     sr.add_argument("--metrics-out", metavar="PATH",
                     help="write the post-run service metrics snapshot as JSON")
+    _add_backend_arg(sr)
     sr.set_defaults(fn=cmd_serve_replay)
 
     cb = sub.add_parser(
@@ -413,8 +464,13 @@ def build_parser() -> argparse.ArgumentParser:
     cb.add_argument("--workers", type=float, default=36,
                     help="simulated cores for T_p (default: the paper's 36)")
     cb.add_argument("--seed", type=int, default=0)
+    cb.add_argument("--procs", metavar="P1,P2,...",
+                    help="instead: run the processes-backend ladder "
+                    "(e.g. 1,2,4), reporting measured wall-clock speedup "
+                    "next to the simulated T_p at each p")
     cb.add_argument("--json-out", metavar="PATH",
                     help="also write the comparison record as JSON")
+    _add_backend_arg(cb)
     cb.set_defaults(fn=cmd_cluster_bench)
 
     pr = sub.add_parser(

@@ -12,19 +12,24 @@ charged as parallel children in the work–depth model, so simulated
 it against a monolithic tree.
 """
 
-from .bench import compare_cluster
+from .bench import compare_cluster, compare_procs
 from .index import ShardedIndex
 from .partitioner import HilbertPartitioner
 from .router import bbox_mindist2, merge_knn, plan_ball, plan_box
 from .shard import Shard
+from .snapshot import SnapshotManager, attach_snapshot, release_all_snapshots
 
 __all__ = [
     "HilbertPartitioner",
     "Shard",
     "ShardedIndex",
+    "SnapshotManager",
+    "attach_snapshot",
     "bbox_mindist2",
     "compare_cluster",
+    "compare_procs",
     "merge_knn",
     "plan_ball",
     "plan_box",
+    "release_all_snapshots",
 ]

@@ -18,16 +18,18 @@ asserts.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
 from ..kdtree.batch import batched_range_query_ball_batch
 from ..kdtree.tree import KDTree
+from ..parlay.scheduler import use_backend
 from ..parlay.workdepth import simulated_speedup, simulated_time, tracker
 from .index import ShardedIndex
 
-__all__ = ["compare_cluster", "summary"]
+__all__ = ["compare_cluster", "compare_procs", "summary", "summary_procs"]
 
 
 def _workload(points: np.ndarray, n_queries: int, seed: int, radius_frac: float):
@@ -116,6 +118,86 @@ def compare_cluster(
     return rec
 
 
+def compare_procs(
+    points,
+    *,
+    n_shards: int = 8,
+    k: int = 10,
+    n_queries: int = 2000,
+    procs: tuple[int, ...] = (1, 2, 4),
+    seed: int = 0,
+    radius_frac: float = 0.05,
+) -> dict:
+    """Measured-vs-simulated scaling of the ``processes`` backend.
+
+    Runs the cluster scatter-gather workload (kNN + ball ranges) on one
+    :class:`ShardedIndex` under ``use_backend("processes", p)`` for each
+    ``p``, timing the steady state: a warm-up pass first packs the
+    shared-memory snapshots, starts the pool and attaches the workers,
+    so the timed pass measures slab execution, not setup.  Reports, per
+    ``p``: measured wall clock, measured speedup vs the 1-process run,
+    the charged (work, depth), and the simulated ``T_p`` at the same
+    ``p`` — the gate asserts the two tell the same qualitative story.
+    Results are checked bitwise against a monolithic tree throughout.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n, d = pts.shape
+    qs, centers, radius = _workload(pts, n_queries, seed, radius_frac)
+    radii = np.full(len(centers), radius)
+
+    tree = KDTree(pts)
+    d2_mono, _ = tree.knn(qs, k, exclude_self=False, engine="batched")
+    balls_mono = [
+        np.sort(tree.gids[i])
+        for i in batched_range_query_ball_batch(tree, centers, radii)
+    ]
+
+    idx = ShardedIndex(pts, n_shards)
+    runs: dict[str, dict] = {}
+    knn_equal = True
+    ball_equal = True
+    for p in procs:
+        with use_backend("processes", int(p)):
+            # warm-up: snapshot pack + pool start + worker attach
+            idx.knn(qs[: min(32, len(qs))], k, engine="batched")
+            tracker.reset()
+            t0 = time.perf_counter()
+            d2, _ = idx.knn(qs, k, exclude_self=False, engine="batched")
+            balls = idx.range_query_ball_batch(centers, radii)
+            wall = time.perf_counter() - t0
+            cost = tracker.reset()
+        knn_equal &= bool(np.array_equal(d2_mono, d2))
+        ball_equal &= all(
+            np.array_equal(a, b) for a, b in zip(balls_mono, balls)
+        )
+        runs[str(int(p))] = {
+            "wall_s": wall,
+            "work": cost.work,
+            "depth": cost.depth,
+            "tp_sim": simulated_time(cost, float(p)),
+            "sim_speedup": simulated_speedup(cost, float(p)),
+        }
+
+    base = runs[str(int(procs[0]))]["wall_s"]
+    for r in runs.values():
+        r["measured_speedup"] = base / r["wall_s"] if r["wall_s"] > 0 else 0.0
+
+    return {
+        "n": n,
+        "dims": d,
+        "k": k,
+        "knn_queries": len(qs),
+        "ball_queries": len(centers),
+        "radius": radius,
+        "shards": idx.n_shards,
+        "procs": [int(p) for p in procs],
+        "cpu_count": os.cpu_count() or 1,
+        "runs": runs,
+        "knn_distances_equal": knn_equal,
+        "ball_results_equal": ball_equal,
+    }
+
+
 def summary(rec: dict) -> str:
     """Human-readable table of a :func:`compare_cluster` record."""
     m, s, p = rec["mono"], rec["sharded"], rec["pruning"]
@@ -134,4 +216,26 @@ def summary(rec: dict) -> str:
         f"{p['mean_touched_frac']:.1%} "
         f"({p['shard_visits']} visits / {p['queries']} queries)",
     ]
+    return "\n".join(lines)
+
+
+def summary_procs(rec: dict) -> str:
+    """Human-readable table of a :func:`compare_procs` record."""
+    lines = [
+        f"procs-bench: n={rec['n']} d={rec['dims']} k={rec['k']} "
+        f"({rec['knn_queries']} kNN + {rec['ball_queries']} ball queries), "
+        f"{rec['shards']} shards, {rec['cpu_count']} cpus",
+        f"  {'p':>3s} {'wall':>9s} {'measured':>9s} {'T_p sim':>12s} "
+        f"{'simulated':>10s}",
+    ]
+    for p in rec["procs"]:
+        r = rec["runs"][str(p)]
+        lines.append(
+            f"  {p:>3d} {r['wall_s']:>8.3f}s {r['measured_speedup']:>8.2f}x "
+            f"{r['tp_sim']:>12.3g} {r['sim_speedup']:>9.2f}x"
+        )
+    lines.append(
+        "  results bitwise-equal to monolithic: "
+        f"knn={rec['knn_distances_equal']} ball={rec['ball_results_equal']}"
+    )
     return "\n".join(lines)

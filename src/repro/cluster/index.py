@@ -45,6 +45,7 @@ from ..parlay.workdepth import charge
 from .partitioner import HilbertPartitioner
 from .router import bbox_mindist2, merge_knn, plan_ball, plan_box, scatter
 from .shard import Shard
+from .snapshot import SnapshotManager
 
 __all__ = ["ShardedIndex"]
 
@@ -105,6 +106,9 @@ class ShardedIndex:
         self.next_gid = n
         # monotonic mutation counter (versioned result caches key on it)
         self.version = 0
+        # shared-memory snapshots of per-shard query state, packed
+        # lazily (processes backend only) and re-packed on version bump
+        self._snaps = SnapshotManager()
 
         self.registry = registry if registry is not None else MetricsRegistry()
         reg = self.registry
@@ -194,6 +198,35 @@ class ShardedIndex:
         for f in touched / S:
             self._m_touched.observe(float(f))
 
+    def _remote(self, kind: str, label: str, args_fn):
+        """Declarative slab descriptor for the ``processes`` backend.
+
+        Returns a ``remote(shard_idx, qidx)`` payload builder for
+        :func:`~repro.cluster.router.scatter` — or None on the other
+        backends, so no snapshot is ever packed unless process dispatch
+        is actually in play.  ``args_fn(s, qidx)`` cuts the slab-local
+        query arrays out of the batch.
+        """
+        if get_scheduler().backend != "processes":
+            return None
+        snaps, shards = self._snaps, self.shards
+
+        def make(s: int, qidx: np.ndarray):
+            return (snaps.spec_for(s, shards[s]), s, kind, label,
+                    args_fn(s, qidx))
+
+        return make
+
+    def close(self) -> None:
+        """Unlink this index's shared-memory snapshots (idempotent)."""
+        self._snaps.release_all()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
     # ------------------------------------------------------------------
     # two-phase kNN
     # ------------------------------------------------------------------
@@ -228,7 +261,13 @@ class ShardedIndex:
 
             # phase 1: probe each query's home shard for a candidate
             # kk-th distance (inf when the home shard is underfull)
-            probe_out = scatter(probe, run_knn, "knn.probe")
+            probe_out = scatter(
+                probe, run_knn, "knn.probe",
+                remote=self._remote(
+                    "knn", "knn.probe",
+                    lambda s, qidx: (qs[qidx], kk, engine, None),
+                ),
+            )
             r2 = np.full(m, np.inf)
             parts = []
             for _, qidx, (d2, gid) in probe_out:
@@ -252,7 +291,13 @@ class ShardedIndex:
                     bound=cutoff[qidx],
                 )
 
-            for _, qidx, res in scatter(fan, run_fanout, "knn.fanout"):
+            for _, qidx, res in scatter(
+                fan, run_fanout, "knn.fanout",
+                remote=self._remote(
+                    "knn", "knn.fanout",
+                    lambda s, qidx: (qs[qidx], kk, engine, cutoff[qidx]),
+                ),
+            ):
                 parts.append((qidx, res[0], res[1]))
 
             d2, gid = merge_knn(m, kk, parts)
@@ -287,7 +332,12 @@ class ShardedIndex:
                     los[qidx], his[qidx]
                 )
 
-            out = self._gather_range(m, scatter(mask, run, "box"))
+            out = self._gather_range(m, scatter(
+                mask, run, "box",
+                remote=self._remote(
+                    "box", "box", lambda s, qidx: (los[qidx], his[qidx])
+                ),
+            ))
             self._observe(mask.sum(axis=1))
         return out
 
@@ -305,7 +355,12 @@ class ShardedIndex:
             def run(s: int, qidx: np.ndarray):
                 return self.shards[s].tree.range_query_ball_batch(cs[qidx], rr[qidx])
 
-            out = self._gather_range(m, scatter(mask, run, "ball"))
+            out = self._gather_range(m, scatter(
+                mask, run, "ball",
+                remote=self._remote(
+                    "ball", "ball", lambda s, qidx: (cs[qidx], rr[qidx])
+                ),
+            ))
             self._observe(mask.sum(axis=1))
         return out
 

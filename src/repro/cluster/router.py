@@ -65,7 +65,9 @@ def plan_ball(lo: np.ndarray, hi: np.ndarray, centers: np.ndarray, r2: np.ndarra
     return bbox_mindist2(lo, hi, centers) <= r2[:, None]
 
 
-def scatter(mask: np.ndarray, run_slab, label: str) -> list[tuple[int, np.ndarray, object]]:
+def scatter(
+    mask: np.ndarray, run_slab, label: str, remote=None
+) -> list[tuple[int, np.ndarray, object]]:
     """Execute one slab per planned shard; shards are parallel children.
 
     ``mask`` is the (m, S) plan; ``run_slab(shard_idx, qidx)`` executes
@@ -73,9 +75,25 @@ def scatter(mask: np.ndarray, run_slab, label: str) -> list[tuple[int, np.ndarra
     result.  Returns ``[(shard_idx, qidx, result), ...]`` for the
     shards with non-empty slabs.  The scheduler composes the slab costs
     as sum-work / max-depth, which is exactly the scatter-gather DAG.
+
+    ``remote`` is the declarative form of the same slabs for the
+    ``processes`` backend: a callable ``remote(shard_idx, qidx)``
+    returning a picklable payload for
+    :func:`repro.cluster.procwork.run_slab`.  When the active backend
+    is ``processes`` (and ``remote`` is given) slabs are dispatched to
+    the worker pool with the shard index as affinity — shard-pinned
+    workers read the shard's state from shared memory — with identical
+    cost composition, results and gather order; on the other backends
+    ``remote`` is ignored and the closures run as usual.
     """
     active = np.flatnonzero(mask.any(axis=0))
     slabs = [np.flatnonzero(mask[:, s]) for s in active]
+    sched = get_scheduler()
+
+    if remote is not None and sched.backend == "processes":
+        tasks = [(int(s), remote(int(s), q)) for s, q in zip(active, slabs)]
+        results = sched.process_map("repro.cluster.procwork:run_slab", tasks)
+        return [(int(s), q, r) for s, q, r in zip(active, slabs, results)]
 
     def make(s: int, qidx: np.ndarray):
         def thunk():
@@ -85,7 +103,7 @@ def scatter(mask: np.ndarray, run_slab, label: str) -> list[tuple[int, np.ndarra
 
         return thunk
 
-    results = get_scheduler().parallel_do(
+    results = sched.parallel_do(
         [make(int(s), q) for s, q in zip(active, slabs)]
     )
     return [(int(s), q, r) for s, q, r in zip(active, slabs, results)]

@@ -171,23 +171,40 @@ def chrome_trace(spans: list[Span], *, workers: int = 36,
                      **({"batch": s.batch} if s.batch is not None else {})},
         })
 
-    # pid 1: measured wall clock, one lane per OS thread
+    # pid 1+: measured wall clock.  Spans forwarded from worker
+    # processes carry their worker's OS pid in meta["pid"] and get a
+    # chrome process lane of their own (pid 2, 3, ...); everything else
+    # — the parent process — lands on pid 1, one lane per OS thread.
     if spans:
         t_origin = min(s.t0 for s in spans)
-        tids = sorted({s.tid for s in spans})
-        lane_for = {tid: i for i, tid in enumerate(tids)}
-        for i, tid in enumerate(tids):
-            events.append({"ph": "M", "pid": 1, "tid": i, "name": "thread_name",
-                           "args": {"name": f"thread {tid}"}})
+        worker_pids = sorted({
+            s.meta["pid"] for s in spans if s.meta and "pid" in s.meta
+        })
+        cpid_for = {wp: 2 + i for i, wp in enumerate(worker_pids)}
+        for wp, cpid in cpid_for.items():
+            events.append({"ph": "M", "pid": cpid, "tid": 0,
+                           "name": "process_name",
+                           "args": {"name": f"worker pid {wp}"}})
+        groups: dict[int, list[Span]] = {}
         for s in spans:
-            events.append({
-                "name": s.name, "cat": s.cat, "ph": "X", "pid": 1,
-                "tid": lane_for[s.tid],
-                "ts": round((s.t0 - t_origin) * 1e6, 3),
-                "dur": round(max((s.t1 - s.t0) * 1e6, 0.001), 3),
-                "args": {"sid": s.sid, "work": s.work, "depth": s.depth,
-                         "backend": s.backend},
-            })
+            wp = s.meta.get("pid") if s.meta else None
+            groups.setdefault(cpid_for.get(wp, 1), []).append(s)
+        for cpid, group in sorted(groups.items()):
+            tids = sorted({s.tid for s in group})
+            lane_for = {tid: i for i, tid in enumerate(tids)}
+            for i, tid in enumerate(tids):
+                events.append({"ph": "M", "pid": cpid, "tid": i,
+                               "name": "thread_name",
+                               "args": {"name": f"thread {tid}"}})
+            for s in group:
+                events.append({
+                    "name": s.name, "cat": s.cat, "ph": "X", "pid": cpid,
+                    "tid": lane_for[s.tid],
+                    "ts": round((s.t0 - t_origin) * 1e6, 3),
+                    "dur": round(max((s.t1 - s.t0) * 1e6, 0.001), 3),
+                    "args": {"sid": s.sid, "work": s.work, "depth": s.depth,
+                             "backend": s.backend},
+                })
 
     return {
         "traceEvents": events,

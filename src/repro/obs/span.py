@@ -40,6 +40,7 @@ __all__ = [
     "disable_tracing",
     "enable_tracing",
     "span",
+    "spans_to_payload",
     "trace",
     "tracing_enabled",
 ]
@@ -182,6 +183,58 @@ class SpanRecorder:
             self._spans.clear()
             self.dropped = 0
             self._next_sid = 1
+
+    # -- cross-process forwarding ------------------------------------------
+    def ingest(self, payload: list[tuple], *, parent: int | None = None,
+               pid: int | None = None) -> None:
+        """Splice spans recorded in another process into this recorder.
+
+        ``payload`` is the :func:`spans_to_payload` form of a worker
+        recorder's spans.  Sids are remapped into this recorder's space
+        (intra-payload parent links preserved); spans whose parent is
+        not in the payload are re-parented under ``parent`` — the
+        forking span in this process — so the tree stays connected
+        across the process boundary.  Each span's meta is tagged with
+        the worker ``pid`` so exporters can render real process lanes.
+
+        The capacity bound applies: a payload overflowing ``max_spans``
+        is dropped whole (keeping the tree closed under parents).
+        """
+        if not payload:
+            return
+        with self._lock:
+            if self._next_sid + len(payload) - 1 > self.max_spans:
+                self.dropped += len(payload)
+                return
+            base = self._next_sid
+            self._next_sid += len(payload)
+            sid_map: dict[int, int] = {}
+            for i, row in enumerate(payload):
+                sid_map[row[0]] = base + i
+            for row in payload:
+                (sid, par, name, cat, t0, t1, work, depth,
+                 backend, batch, tid, meta) = row
+                meta = dict(meta) if meta else {}
+                if pid is not None:
+                    meta.setdefault("pid", pid)
+                self._spans.append(Span(
+                    sid_map[sid], sid_map.get(par, parent), name, cat,
+                    t0, t1, work, depth, backend, batch, tid,
+                    meta or None,
+                ))
+
+
+def spans_to_payload(spans: list[Span]) -> list[tuple]:
+    """Flatten spans to plain tuples for cheap pickling across processes.
+
+    The inverse is :meth:`SpanRecorder.ingest`, which remaps sids into
+    the receiving recorder's space.
+    """
+    return [
+        (s.sid, s.parent, s.name, s.cat, s.t0, s.t1, s.work, s.depth,
+         s.backend, s.batch, s.tid, s.meta)
+        for s in spans
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -31,12 +31,14 @@ from .radix import radix_argsort, radix_sort
 from .random import random_permutation, random_sample_indices
 from .semisort import group_by, reduce_by_key, semisort_indices
 from .scheduler import (
+    BACKENDS,
     Scheduler,
     get_scheduler,
     num_workers,
     parallel_do,
     parallel_for,
     parallel_map_tasks,
+    register_process_shutdown_hook,
     set_backend,
     use_backend,
 )
@@ -53,6 +55,7 @@ from .workdepth import (
 )
 
 __all__ = [
+    "BACKENDS",
     "Cost",
     "CostTracker",
     "NO_RESERVATION",
@@ -85,6 +88,7 @@ __all__ = [
     "pscan_inclusive",
     "radix_argsort",
     "radix_sort",
+    "register_process_shutdown_hook",
     "random_permutation",
     "random_sample_indices",
     "reduce_by_key",

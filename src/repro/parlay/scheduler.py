@@ -1,6 +1,6 @@
 """Fork-join scheduler: the execution backend of the parlay substrate.
 
-Two backends are provided:
+Three backends are provided:
 
 ``sequential``
     Runs tasks inline on the calling thread.  This is the default and is
@@ -13,9 +13,20 @@ Two backends are provided:
     concurrent interleavings exercises the library's conflict-resolution
     logic (reservations, priority writes) for real.
 
-Either way, the scheduler performs work-depth accounting through
+``processes``
+    Runs *declarative* tasks — a module-level function plus a picklable
+    payload, dispatched through :meth:`Scheduler.process_map` — on a
+    persistent :class:`~repro.parlay.procpool.ProcPool` of worker
+    processes, so per-shard slab work executes on real cores with
+    zero-copy reads of shared-memory shard state (see
+    :mod:`repro.cluster.snapshot`).  Generic fork-join thunks are
+    closures and cannot cross the process boundary; they run inline
+    with the same parallel cost composition (exactly the nested-fork
+    fallback), which keeps the backend a drop-in swap for the others.
+
+Every backend performs identical work-depth accounting through
 :mod:`repro.parlay.workdepth`: tasks forked together contribute
-``sum(work)`` and ``max(depth)``.
+``sum(work)`` and ``max(depth)``, no matter where they ran.
 """
 
 from __future__ import annotations
@@ -29,8 +40,10 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from .workdepth import Cost, get_tracer, tracker
 
 __all__ = [
+    "BACKENDS",
     "Scheduler",
     "get_scheduler",
+    "register_process_shutdown_hook",
     "set_backend",
     "use_backend",
     "num_workers",
@@ -41,18 +54,45 @@ __all__ = [
 
 T = TypeVar("T")
 
-_DEFAULT_WORKERS = int(os.environ.get("REPRO_NUM_WORKERS", "4"))
+#: Recognized scheduler backends.
+BACKENDS = ("sequential", "threads", "processes")
+
+#: Sanity cap on the auto-detected worker count.
+_MAX_AUTO_WORKERS = 32
+
+
+def _default_workers() -> int:
+    """``REPRO_NUM_WORKERS`` when set, else ``os.cpu_count()`` capped."""
+    env = os.environ.get("REPRO_NUM_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, min(os.cpu_count() or 1, _MAX_AUTO_WORKERS))
+
+
+_DEFAULT_WORKERS = _default_workers()
+
+# Callbacks run when a scheduler with a live process pool shuts down
+# (repro.cluster.snapshot registers shared-memory cleanup here; the
+# indirection keeps parlay from importing higher layers).
+_process_shutdown_hooks: list[Callable[[], None]] = []
+
+
+def register_process_shutdown_hook(fn: Callable[[], None]) -> None:
+    """Run ``fn`` whenever a process-backed scheduler shuts down."""
+    if fn not in _process_shutdown_hooks:
+        _process_shutdown_hooks.append(fn)
 
 
 class Scheduler:
     """A fork-join scheduler with pluggable backend."""
 
     def __init__(self, backend: str = "sequential", workers: int = _DEFAULT_WORKERS):
-        if backend not in ("sequential", "threads"):
+        if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}")
         self.backend = backend
         self.workers = max(1, workers)
         self._pool: ThreadPoolExecutor | None = None
+        self._ppool = None  # ProcPool, for the processes backend
         self._lock = threading.Lock()
         # Depth guard: nested forks fall back to inline execution once a
         # worker thread is already running a task (avoids pool deadlock).
@@ -67,11 +107,32 @@ class Scheduler:
                 )
             return self._pool
 
+    def proc_pool(self):
+        """The lazily-started worker-process pool (processes backend)."""
+        if self.backend != "processes":
+            raise RuntimeError(
+                f"proc_pool() requires the 'processes' backend, not {self.backend!r}"
+            )
+        with self._lock:
+            if self._ppool is None:
+                from .procpool import ProcPool
+
+                self._ppool = ProcPool(self.workers)
+            return self._ppool
+
     def shutdown(self) -> None:
         with self._lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            ppool, self._ppool = self._ppool, None
+        if ppool is not None:
+            for hook in _process_shutdown_hooks:
+                try:
+                    hook()
+                except Exception:
+                    pass
+            ppool.shutdown()
 
     # -- fork-join ----------------------------------------------------------
     def parallel_do(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
@@ -89,8 +150,11 @@ class Scheduler:
             tracker.merge_serial(c)
             return out
 
+        # the processes backend cannot ship closures across the process
+        # boundary, so generic thunks run inline with the same parallel
+        # cost composition (declarative slab work goes via process_map)
         inline = (
-            self.backend == "sequential"
+            self.backend in ("sequential", "processes")
             or getattr(self._in_worker, "flag", False)
         )
         tr = get_tracer()
@@ -173,6 +237,62 @@ class Scheduler:
         items = list(items)
         return self.parallel_do([(lambda x=x: fn(x)) for x in items])
 
+    # -- declarative process dispatch ---------------------------------------
+    def process_map(
+        self, func_path: str, tasks: Sequence[tuple[int, object]]
+    ) -> list:
+        """Run ``fn(payload)`` per ``(affinity, payload)`` task on real cores.
+
+        The processes-backend counterpart of :meth:`parallel_do` for
+        *declarative* tasks: ``func_path`` names a module-level function
+        (``"pkg.mod:fn"``) and each payload is picklable.  Equal
+        affinities are pinned to the same worker process, so worker-side
+        caches (attached shard snapshots) survive across calls.
+
+        Cost accounting matches :meth:`parallel_do` exactly: each task's
+        (work, depth) is captured in the worker and merged here — a
+        single task composes serially, siblings compose as
+        sum-work / max-depth with the log-fanout term.  Worker-side
+        spans are forwarded into the parent recorder, tagged with the
+        worker pid, parented to the forking span; when tracing is
+        disabled nothing is recorded anywhere.
+
+        On non-process backends (or when nested inside a worker task)
+        the calls run inline on this thread — the same fallback
+        ``parallel_do`` uses — so callers can dispatch unconditionally.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        tr = get_tracer()
+
+        remote = (
+            self.backend == "processes"
+            and not getattr(self._in_worker, "flag", False)
+        )
+        if not remote:
+            from .procpool import _resolve
+
+            fn = _resolve(func_path)
+            return self.parallel_do(
+                [(lambda p=payload: fn(p)) for _affinity, payload in tasks]
+            )
+
+        fork_parent = tr.current_id() if tr is not None else None
+        out = self.proc_pool().run_tasks(
+            func_path, tasks, trace=tr is not None, workers_hint=self.workers
+        )
+        costs = [Cost(r.work, r.depth) for r in out]
+        if len(costs) == 1:
+            tracker.merge_serial(costs[0])
+        else:
+            tracker.merge_parallel(costs, fanout=len(tasks))
+        if tr is not None:
+            for r in out:
+                if r.spans:
+                    tr.ingest(r.spans, parent=fork_parent, pid=r.pid)
+        return [r.result for r in out]
+
 
 _scheduler = Scheduler(os.environ.get("REPRO_BACKEND", "sequential"))
 
@@ -182,7 +302,7 @@ def get_scheduler() -> Scheduler:
 
 
 def set_backend(backend: str, workers: int | None = None) -> None:
-    """Switch the global scheduler backend ('sequential' or 'threads')."""
+    """Switch the global scheduler backend (one of :data:`BACKENDS`)."""
     global _scheduler
     _scheduler.shutdown()
     _scheduler = Scheduler(backend, workers or _scheduler.workers)

@@ -19,8 +19,8 @@ def rng():
     return np.random.default_rng(12345)
 
 
-@pytest.fixture(params=["sequential", "threads"])
+@pytest.fixture(params=["sequential", "threads", "processes"])
 def any_backend(request):
-    """Run a test under both scheduler backends."""
+    """Run a test under every scheduler backend."""
     with use_backend(request.param, 4) as sched:
         yield sched

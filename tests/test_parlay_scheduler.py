@@ -1,11 +1,13 @@
-"""Tests for the fork-join scheduler and its two backends."""
+"""Tests for the fork-join scheduler and its backends."""
 
+import os
 import threading
 
 import numpy as np
 import pytest
 
 from repro.parlay import (
+    BACKENDS,
     Scheduler,
     get_scheduler,
     parallel_do,
@@ -77,6 +79,23 @@ class TestBackendManagement:
         with pytest.raises(ValueError):
             Scheduler("mpi")
 
+    def test_backends_tuple(self):
+        assert BACKENDS == ("sequential", "threads", "processes")
+
+    def test_default_workers_env_override(self, monkeypatch):
+        from repro.parlay.scheduler import _default_workers
+
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "7")
+        assert _default_workers() == 7
+        monkeypatch.delenv("REPRO_NUM_WORKERS")
+        auto = _default_workers()
+        assert 1 <= auto <= 32
+        assert auto == min(os.cpu_count() or 1, 32)
+
+    def test_proc_pool_requires_processes_backend(self):
+        with pytest.raises(RuntimeError):
+            Scheduler("threads").proc_pool()
+
     def test_use_backend_restores(self):
         before = get_scheduler()
         with use_backend("threads", 2):
@@ -98,6 +117,65 @@ class TestBackendManagement:
         box = []
         parallel_for(5, box.append)
         assert sorted(box) == list(range(5))
+
+
+class TestProcessBackend:
+    def test_generic_thunks_run_inline(self):
+        """Closures can't cross the process boundary; parallel_do under
+        the processes backend stays on the calling process."""
+        with use_backend("processes", 2) as sched:
+            pids = sched.parallel_do([os.getpid for _ in range(4)])
+        assert set(pids) == {os.getpid()}
+
+    @pytest.mark.slow
+    def test_process_map_runs_on_workers(self):
+        with use_backend("processes", 2) as sched:
+            out = sched.process_map(
+                "tests.test_parlay_scheduler:_pid_task", [(i, None) for i in range(6)]
+            )
+            assert set(out) <= set(sched.proc_pool().pids())
+            assert os.getpid() not in out
+
+    @pytest.mark.slow
+    def test_process_map_merges_parallel_charges(self):
+        """Worker-side charges must compose exactly like inline ones."""
+        tasks = [(i, None) for i in range(4)]
+        with use_backend("processes", 2) as sched:
+            tracker.reset()
+            sched.process_map("tests.test_parlay_scheduler:_charge_task", tasks)
+            remote = tracker.reset()
+        with use_backend("sequential") as sched:
+            tracker.reset()
+            sched.process_map("tests.test_parlay_scheduler:_charge_task", tasks)
+            inline = tracker.reset()
+        assert remote.work == inline.work
+        assert remote.depth == inline.depth
+
+    def test_process_map_inline_on_other_backends(self):
+        with use_backend("threads", 2) as sched:
+            out = sched.process_map("tests.test_parlay_scheduler:_pid_task", [(0, None), (1, None)])
+        assert out == [os.getpid(), os.getpid()]
+
+    @pytest.mark.slow
+    def test_shutdown_hook_runs(self):
+        from repro.parlay.scheduler import register_process_shutdown_hook
+
+        fired = []
+        hook = fired.append
+        register_process_shutdown_hook(lambda: hook("x"))
+        with use_backend("processes", 1) as sched:
+            sched.process_map("tests.test_parlay_scheduler:_pid_task", [(0, None)])
+        assert fired  # hook ran at scheduler shutdown
+
+
+def _pid_task(_payload):
+    return os.getpid()
+
+
+def _charge_task(_payload):
+    from repro.parlay.workdepth import charge
+
+    charge(1000, 25)
 
 
 class TestCostComposition:
