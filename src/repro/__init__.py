@@ -67,6 +67,7 @@ from .cluster import ShardedIndex
 from .hull import convex_hull
 from .kdtree import KDTree
 from .parlay import set_backend, use_backend
+from .frontend import Frontend
 from .serve import GeometryService
 from .seb import Ball, smallest_enclosing_ball
 from .spatialsort import ZdTree, morton_sort
@@ -77,6 +78,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BDLTree",
     "Ball",
+    "Frontend",
     "GeometryService",
     "Graph",
     "InPlaceTree",

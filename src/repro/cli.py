@@ -189,11 +189,13 @@ def cmd_serve_replay(args) -> int:
     from .kdtree import KDTree
     from .serve import (
         GeometryService,
+        TraceMismatch,
         load_trace,
         replay,
         run_unbatched,
         save_trace,
         synthetic_trace,
+        validate_trace,
     )
 
     pts = _load(args.input)
@@ -201,6 +203,12 @@ def cmd_serve_replay(args) -> int:
 
     if args.trace:
         trace = load_trace(args.trace)
+        try:
+            validate_trace(trace, len(coords), coords.shape[1])
+        except TraceMismatch as exc:
+            print(f"serve-replay: trace does not fit the loaded dataset: {exc}",
+                  file=sys.stderr)
+            return 2
     else:
         kinds = tuple(args.mix.split(","))
         trace = synthetic_trace(
@@ -247,6 +255,13 @@ def cmd_serve_replay(args) -> int:
         if args.metrics_out:
             _write_metrics(args.metrics_out, service)
             print(f"wrote metrics snapshot to {args.metrics_out}")
+        if report.errors:
+            print(
+                f"serve-replay: {report.errors} request(s) failed; "
+                f"first error: {report.first_error}",
+                file=sys.stderr,
+            )
+            return 1
 
         if args.compare:
             index = build_index()  # fresh index: same state as the service
@@ -298,6 +313,72 @@ def cmd_cluster_bench(args) -> int:
         with open(args.json_out, "w") as f:
             json.dump(rec, f, indent=2)
             f.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def cmd_load_bench(args) -> int:
+    import asyncio
+
+    from .cluster import ShardedIndex
+    from .frontend import Frontend
+    from .frontend.load import TenantLoad, run_open_loop, verify_degraded
+    from .kdtree import KDTree
+    from .serve import zipf_trace
+
+    pts = _load(args.input)
+    coords = pts.coords
+    heavy_n = int(args.seconds * args.heavy_rate)
+    light_n = int(args.seconds * args.light_rate)
+    if heavy_n < 1 or light_n < 1:
+        print("error: seconds * rate must give at least one request per tenant",
+              file=sys.stderr)
+        return 2
+
+    heavy_idx = ShardedIndex(coords, args.shards) if args.shards > 0 \
+        else KDTree(coords)
+    light_idx = KDTree(coords)
+
+    async def run():
+        fe = Frontend(
+            max_batch=args.max_batch,
+            queue_depth=args.queue_depth,
+            degrade_at=args.degrade_at,
+        )
+        fe.register_tenant("heavy", heavy_idx, weight=1.0)
+        fe.register_tenant("light", light_idx, weight=args.light_weight)
+        loads = [
+            TenantLoad(
+                "heavy",
+                zipf_trace(coords, heavy_n, kinds=("knn",), k=args.k,
+                           s=args.zipf_s, seed=args.seed),
+                rate=args.heavy_rate, pattern=args.pattern,
+                seed=args.seed + 1,
+            ),
+            TenantLoad(
+                "light",
+                zipf_trace(coords, light_n, kinds=("knn", "ball"), k=args.k,
+                           s=args.zipf_s, seed=args.seed + 2),
+                rate=args.light_rate, pattern="poisson", seed=args.seed + 3,
+            ),
+        ]
+        try:
+            return await run_open_loop(fe, loads)
+        finally:
+            await fe.close()
+
+    report = asyncio.run(run())
+    print(f"load-bench: {len(coords)} points, "
+          f"{'ShardedIndex[%d]' % args.shards if args.shards > 0 else 'KDTree'} "
+          f"heavy tenant, {args.pattern} arrivals at "
+          f"{args.heavy_rate:,.0f}/{args.light_rate:,.0f} req/s "
+          f"for {args.seconds:.0f}s")
+    print(report.summary())
+    n_ver = verify_degraded(heavy_idx, report.degraded_samples)
+    if n_ver:
+        print(f"verified {n_ver} degraded answers against exact recompute")
+    if args.json_out:
+        report.save(args.json_out)
         print(f"wrote {args.json_out}")
     return 0
 
@@ -472,6 +553,42 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the comparison record as JSON")
     _add_backend_arg(cb)
     cb.set_defaults(fn=cmd_cluster_bench)
+
+    lb = sub.add_parser(
+        "load-bench",
+        help="open-loop multi-tenant load test of the async front-end",
+        description="Drive repro.frontend.Frontend with a saturating heavy "
+        "tenant and a light tenant on open-loop (Poisson or bursty) Zipf "
+        "traces; report per-tenant p50/p99/p999 latency, rejection rate, "
+        "degraded-answer counts, and saturation throughput.",
+    )
+    lb.add_argument("input", help="point file both tenants query")
+    lb.add_argument("--seconds", type=float, default=5.0,
+                    help="offered-load duration per tenant (default 5)")
+    lb.add_argument("--heavy-rate", type=float, default=5000.0,
+                    help="heavy tenant arrival rate, req/s (default 5000)")
+    lb.add_argument("--light-rate", type=float, default=200.0,
+                    help="light tenant arrival rate, req/s (default 200)")
+    lb.add_argument("--light-weight", type=float, default=4.0,
+                    help="fair-dispatch weight of the light tenant")
+    lb.add_argument("--pattern", choices=("poisson", "bursty"),
+                    default="poisson", help="heavy tenant arrival process")
+    lb.add_argument("--zipf-s", type=float, default=1.2,
+                    help="Zipf exponent of the hot-spot skew")
+    lb.add_argument("-k", type=int, default=8, help="k for kNN requests")
+    lb.add_argument("--shards", type=int, default=16, metavar="N",
+                    help="heavy tenant's shard count (0 = plain KDTree, "
+                    "which disables graceful degradation)")
+    lb.add_argument("--queue-depth", type=int, default=512,
+                    help="per-tenant queue bound / reject threshold")
+    lb.add_argument("--degrade-at", type=int, default=None,
+                    help="total depth that triggers approximate answers "
+                    "(default: queue-depth / 2)")
+    lb.add_argument("--max-batch", type=int, default=256)
+    lb.add_argument("--seed", type=int, default=0)
+    lb.add_argument("--json-out", metavar="PATH",
+                    help="write the full load report as JSON")
+    lb.set_defaults(fn=cmd_load_bench)
 
     pr = sub.add_parser(
         "profile",

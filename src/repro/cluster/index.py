@@ -314,6 +314,72 @@ class ShardedIndex:
         )
 
     # ------------------------------------------------------------------
+    # degraded home-shard-only kNN (overload escape hatch)
+    # ------------------------------------------------------------------
+    def knn_home(
+        self,
+        queries,
+        k: int,
+        exclude_self: bool = False,
+        engine: str | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """*Approximate* kNN answered from each query's home shard only.
+
+        This is phase 1 of :meth:`knn` without the fan-out: each query
+        visits exactly the shard its Hilbert code routes to, so the
+        cost is bounded by one shard search regardless of how wide the
+        exact fan-out would have been — the degraded path the serving
+        front-end switches to under overload.
+
+        The answer is exact kNN *restricted to the home shard's live
+        points*: every returned (distance, id) pair is a real point at
+        its true squared distance, and rank-for-rank the distances are
+        >= the exact answer's (the candidate set is a subset).  Rows
+        are padded with ``inf``/``-1`` when the home shard holds fewer
+        than ``k`` points.  Callers must label results as approximate —
+        the serving layer never returns them unlabelled.
+        """
+        engine = resolve_engine(engine)
+        qs = as_array(queries)
+        m = len(qs)
+        kk = k + 1 if exclude_self else k
+        if m == 0:
+            return np.empty((0, k)), np.empty((0, k), dtype=np.int64)
+
+        with span("cluster.knn_home", cat="cluster", batch=m,
+                  shards=len(self.shards)):
+            home = self.part.route(qs)
+            probe = np.zeros((m, len(self.shards)), dtype=bool)
+            probe[np.arange(m), home] = True
+            probe &= self._occupied()[None, :]
+
+            def run_knn(s: int, qidx: np.ndarray):
+                return self.shards[s].tree.knn(
+                    qs[qidx], kk, exclude_self=False, engine=engine
+                )
+
+            parts = [
+                (qidx, d2, gid)
+                for _, qidx, (d2, gid) in scatter(
+                    probe, run_knn, "knn.home",
+                    remote=self._remote(
+                        "knn", "knn.home",
+                        lambda s, qidx: (qs[qidx], kk, engine, None),
+                    ),
+                )
+            ]
+            d2, gid = merge_knn(m, kk, parts)
+            self._observe(probe.sum(axis=1))
+
+        if not exclude_self:
+            return d2, gid
+        hit = (gid[:, 0] >= 0) & (d2[:, 0] <= 1e-18)
+        cols = np.where(hit, 1, 0)[:, None] + np.arange(k)[None, :]
+        return np.take_along_axis(d2, cols, axis=1), np.take_along_axis(
+            gid, cols, axis=1
+        )
+
+    # ------------------------------------------------------------------
     # pruned range search
     # ------------------------------------------------------------------
     def range_query_box_batch(self, los, his) -> list[np.ndarray]:

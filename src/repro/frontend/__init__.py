@@ -1,0 +1,71 @@
+"""``repro.frontend`` — async multi-tenant serving front-end.
+
+The tenancy/fairness/overload layer above :mod:`repro.serve`: an
+``await``-able query API where each tenant owns one registered index,
+a token-bucket quota, and a weighted-fair share of the dispatcher.
+Admission control is driven by the queue-depth gauges and degrades
+gracefully — under load, sharded tenants get home-shard-only answers
+explicitly labelled ``approximate=True`` before anyone gets a typed
+:class:`~repro.serve.errors.Overloaded` rejection.
+
+Quickstart::
+
+    import asyncio
+    from repro import Frontend, ShardedIndex, dataset
+
+    async def main():
+        async with Frontend(queue_depth=512) as fe:
+            fe.register_tenant(
+                "acme", ShardedIndex(dataset("2D-U-10K").coords, 8),
+                weight=2.0, rate=500.0,
+            )
+            reply = await fe.knn("acme", [50.0, 50.0], k=8)
+            print(reply.approximate, reply.value)
+
+    asyncio.run(main())
+
+:mod:`repro.frontend.load` adds the open-loop load harness behind the
+``load-bench`` CLI and the ``BENCH_load.json`` gate.
+"""
+
+from .admission import DEGRADED, NORMAL, OVERLOADED, AdmissionController, Decision
+from .dispatch import TokenBucket, WeightedFairScheduler
+from .errors import (
+    Overloaded,
+    QuotaExceeded,
+    RequestTimeout,
+    ServeError,
+    ServiceClosed,
+    UnknownTenant,
+)
+from .frontend import Frontend, Reply
+from .load import (
+    LoadReport,
+    TenantLoad,
+    TenantReport,
+    run_open_loop,
+    verify_degraded,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DEGRADED",
+    "Decision",
+    "Frontend",
+    "LoadReport",
+    "NORMAL",
+    "OVERLOADED",
+    "Overloaded",
+    "QuotaExceeded",
+    "Reply",
+    "RequestTimeout",
+    "ServeError",
+    "ServiceClosed",
+    "TenantLoad",
+    "TenantReport",
+    "TokenBucket",
+    "UnknownTenant",
+    "WeightedFairScheduler",
+    "run_open_loop",
+    "verify_degraded",
+]

@@ -1,0 +1,128 @@
+"""Depth-driven admission control with hysteresis and retry-after.
+
+The controller turns the front-end's queue-depth gauges into one of
+three states:
+
+* ``NORMAL`` — depth below ``degrade_at``: every request is served
+  exactly.
+* ``DEGRADED`` — depth in ``[degrade_at, reject_at)``: requests are
+  still admitted, but tenants whose index supports a cheap approximate
+  path (home-shard-only kNN on a
+  :class:`~repro.cluster.index.ShardedIndex`) are answered
+  approximately, labelled ``approximate=True`` — the system trades
+  accuracy for latency instead of queueing everyone.
+* ``OVERLOADED`` — depth at/above ``reject_at``: new arrivals are shed
+  with a typed :class:`~repro.serve.errors.Overloaded` carrying a
+  ``retry_after`` derived from the measured drain rate, so the queue is
+  provably bounded and clients back off instead of piling on.
+
+Transitions out of a degraded/overloaded state require the depth to
+fall below ``resume_frac`` of the entry threshold (hysteresis), so the
+state machine doesn't flap on every request at the boundary::
+
+            depth >= degrade_at              depth >= reject_at
+    NORMAL ---------------------> DEGRADED ---------------------> OVERLOADED
+      ^                              |  ^                              |
+      +------------------------------+  +------------------------------+
+        depth < resume_frac*degrade_at    depth < resume_frac*reject_at
+
+The depth is read through a callable — in the front-end this is the
+same function backing its ``frontend_queue_depth_total`` gauge, so the
+admission decision and the exported metric can never disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionController", "Decision", "DEGRADED", "NORMAL", "OVERLOADED"]
+
+NORMAL = "normal"
+DEGRADED = "degraded"
+OVERLOADED = "overloaded"
+
+#: Fallback drain rate (req/s) before any dispatch has been measured.
+_BOOTSTRAP_DRAIN = 100.0
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict: the state plus a retry hint when shedding."""
+
+    state: str
+    depth: int
+    retry_after: float | None = None
+
+    @property
+    def admit(self) -> bool:
+        return self.state != OVERLOADED
+
+    @property
+    def degrade(self) -> bool:
+        return self.state == DEGRADED
+
+
+class AdmissionController:
+    """Maps a queue-depth gauge to NORMAL / DEGRADED / OVERLOADED."""
+
+    def __init__(
+        self,
+        depth_fn,
+        *,
+        degrade_at: int,
+        reject_at: int,
+        resume_frac: float = 0.5,
+    ):
+        if not 1 <= degrade_at <= reject_at:
+            raise ValueError("need 1 <= degrade_at <= reject_at")
+        if not 0.0 < resume_frac <= 1.0:
+            raise ValueError("resume_frac must be in (0, 1]")
+        self._depth_fn = depth_fn
+        self.degrade_at = int(degrade_at)
+        self.reject_at = int(reject_at)
+        self.resume_frac = float(resume_frac)
+        self.state = NORMAL
+        # EWMA of the dispatcher's drain rate, for retry-after estimates
+        self._drain_rate = 0.0
+
+    def note_drained(self, n: int, seconds: float) -> None:
+        """Feed one dispatch's throughput into the drain-rate EWMA."""
+        if n <= 0 or seconds <= 0:
+            return
+        rate = n / seconds
+        self._drain_rate = (
+            rate if self._drain_rate == 0.0
+            else 0.8 * self._drain_rate + 0.2 * rate
+        )
+
+    @property
+    def drain_rate(self) -> float:
+        return self._drain_rate
+
+    def _retry_after(self, depth: int) -> float:
+        """Time to drain back under the reject threshold, bounded sanely."""
+        rate = self._drain_rate or _BOOTSTRAP_DRAIN
+        excess = max(depth - self.resume_frac * self.reject_at, 1.0)
+        return min(max(excess / rate, 0.001), 30.0)
+
+    def decide(self) -> Decision:
+        """Read the depth gauge and advance the state machine."""
+        depth = int(self._depth_fn())
+        s = self.state
+        if s == OVERLOADED:
+            if depth < self.resume_frac * self.reject_at:
+                s = DEGRADED if depth >= self.degrade_at else NORMAL
+        elif s == DEGRADED:
+            if depth >= self.reject_at:
+                s = OVERLOADED
+            elif depth < self.resume_frac * self.degrade_at:
+                s = NORMAL
+        else:
+            if depth >= self.reject_at:
+                s = OVERLOADED
+            elif depth >= self.degrade_at:
+                s = DEGRADED
+        self.state = s
+        if s == OVERLOADED:
+            return Decision(s, depth, self._retry_after(depth))
+        return Decision(s, depth)

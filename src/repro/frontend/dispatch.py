@@ -1,0 +1,154 @@
+"""Fair-dispatch primitives: token buckets and weighted fair queueing.
+
+Both classes are plain synchronous objects (no asyncio, injectable
+clock) so the scheduling math is unit-testable in isolation; the
+:class:`~repro.frontend.frontend.Frontend` drives them from its event
+loop.
+
+* :class:`TokenBucket` — the per-tenant admission quota: a bucket of
+  ``burst`` tokens refilling at ``rate`` tokens/second.  Acquisition is
+  all-or-nothing and never blocks; on failure it returns the exact
+  refill time, which becomes the typed rejection's ``retry_after``.
+
+* :class:`WeightedFairScheduler` — virtual-time weighted fair queueing
+  across tenant backlogs (start-time fair queueing, batch granularity).
+  Each tenant carries a virtual finish tag; dispatching ``b`` requests
+  from tenant ``t`` advances its tag by ``b / weight_t``, and the next
+  dispatch always goes to the backlogged tenant with the smallest tag.
+  A tenant that goes idle and returns resumes at the scheduler's
+  current virtual time (``max(own tag, now)``), so idleness never banks
+  credit — the property that bounds a light tenant's delay to one
+  quantum of each heavy competitor instead of their whole backlog.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["TokenBucket", "WeightedFairScheduler"]
+
+
+class TokenBucket:
+    """A token-bucket rate limiter with an injectable clock.
+
+    ``rate`` is tokens per second; ``burst`` is the bucket capacity
+    (defaults to one second's worth, at least 1).  ``rate=None`` means
+    unlimited: every acquisition succeeds.
+    """
+
+    def __init__(self, rate: float | None, burst: float | None = None, *,
+                 clock=time.monotonic):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be > 0 tokens/s (or None for unlimited)")
+        self.rate = None if rate is None else float(rate)
+        if burst is None:
+            burst = max(1.0, rate) if rate is not None else math.inf
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.burst = float(burst)
+        self._tokens = self.burst
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        if self.rate is None:
+            return
+        dt = now - self._last
+        if dt > 0:
+            self._tokens = min(self.burst, self._tokens + dt * self.rate)
+        self._last = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill(self._clock())
+        return self._tokens
+
+    def try_acquire(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens if available; returns the retry-after.
+
+        ``0.0`` means the tokens were taken.  A positive value is the
+        time until ``n`` tokens will have accrued — nothing was taken
+        (all-or-nothing, so a rejected request costs no quota).
+        """
+        if self.rate is None:
+            return 0.0
+        self._refill(self._clock())
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+
+class _TenantState:
+    __slots__ = ("weight", "vtag", "backlog")
+
+    def __init__(self, weight: float):
+        self.weight = weight
+        self.vtag = 0.0
+        self.backlog = 0
+
+
+class WeightedFairScheduler:
+    """Virtual-time weighted fair queueing over tenant backlogs."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, _TenantState] = {}
+        self._vnow = 0.0
+
+    def add(self, name: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be > 0")
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} already scheduled")
+        t = _TenantState(float(weight))
+        t.vtag = self._vnow
+        self._tenants[name] = t
+
+    def remove(self, name: str) -> None:
+        del self._tenants[name]
+
+    def set_weight(self, name: str, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be > 0")
+        self._tenants[name].weight = float(weight)
+
+    def backlog(self, name: str) -> int:
+        return self._tenants[name].backlog
+
+    def total_backlog(self) -> int:
+        return sum(t.backlog for t in self._tenants.values())
+
+    def arrive(self, name: str, n: int = 1) -> None:
+        """Record ``n`` new requests queued for ``name``."""
+        t = self._tenants[name]
+        if t.backlog == 0:
+            # re-activation: resume at the current virtual time so idle
+            # periods cannot be hoarded as dispatch credit
+            t.vtag = max(t.vtag, self._vnow)
+        t.backlog += n
+
+    def pick(self) -> str | None:
+        """The backlogged tenant with the smallest virtual finish tag.
+
+        Ties (common right after a light tenant reactivates at ``vnow``)
+        go to the heavier weight, so a high-priority tenant is never
+        stuck behind an equal-tagged bulk tenant by insertion order.
+        """
+        best, best_key = None, (math.inf, 0.0)
+        for name, t in self._tenants.items():
+            if t.backlog > 0:
+                key = (t.vtag, -t.weight)
+                if key < best_key:
+                    best, best_key = name, key
+        return best
+
+    def dispatched(self, name: str, n: int) -> None:
+        """Account ``n`` requests dispatched from ``name``'s queue."""
+        t = self._tenants[name]
+        t.backlog = max(0, t.backlog - n)
+        t.vtag += n / t.weight
+        self._vnow = max(self._vnow, min(
+            (s.vtag for s in self._tenants.values() if s.backlog > 0),
+            default=t.vtag,
+        ))

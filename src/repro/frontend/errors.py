@@ -1,0 +1,54 @@
+"""Typed errors of the multi-tenant serving front-end.
+
+The front-end reuses the service's error taxonomy
+(:mod:`repro.serve.errors`) so callers branch on one hierarchy:
+``Overloaded`` (now carrying ``retry_after``) remains the backpressure
+signal, and the tenant-specific failures below subclass it or
+``ServeError`` so existing handlers keep working.
+"""
+
+from __future__ import annotations
+
+from ..serve.errors import (
+    Overloaded,
+    RequestTimeout,
+    ServeError,
+    ServiceClosed,
+)
+
+__all__ = [
+    "Overloaded",
+    "QuotaExceeded",
+    "RequestTimeout",
+    "ServeError",
+    "ServiceClosed",
+    "UnknownTenant",
+]
+
+
+class UnknownTenant(ServeError, KeyError):
+    """The request names a tenant that is not registered."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return f"no tenant registered under {self.name!r}"
+
+
+class QuotaExceeded(Overloaded):
+    """The tenant's token-bucket quota is exhausted.
+
+    A subclass of :class:`Overloaded` so generic backoff handlers keep
+    working; ``retry_after`` is the exact refill time until the bucket
+    holds a token again.
+    """
+
+    def __init__(self, tenant: str, retry_after: float):
+        super().__init__(0, 0, retry_after)
+        self.tenant = tenant
+        self.args = (
+            f"tenant {tenant!r} exceeded its request quota; "
+            f"retry after {retry_after:.4g}s",
+        )

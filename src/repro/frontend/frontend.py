@@ -1,0 +1,589 @@
+"""The asyncio multi-tenant serving front-end.
+
+:class:`Frontend` is the tenancy/fairness/overload layer above
+:class:`~repro.serve.service.GeometryService` (which stays the
+batching/caching layer).  Each **tenant** owns one registered index
+(:class:`~repro.kdtree.tree.KDTree`, :class:`~repro.bdl.bdltree.BDLTree`
+or :class:`~repro.cluster.index.ShardedIndex`), a scheduling weight,
+and an optional token-bucket quota.  Clients call the ``await``-able
+query API (:meth:`Frontend.knn` / :meth:`box` / :meth:`ball` /
+:meth:`allnn`) and get back a :class:`Reply` whose ``approximate`` flag
+is the degradation label.
+
+Request lifecycle::
+
+    await frontend.knn("acme", q, k=8)
+      │ quota: tenant token bucket — exhausted -> QuotaExceeded(retry_after)
+      │ admission: depth-driven state machine — in OVERLOADED, tenants
+      │   at/above their weighted fair share of the queue budget get a
+      │   typed Overloaded(retry_after); under-share tenants stay admitted
+      │ enqueue on the tenant's queue, wake the dispatcher
+      ▼
+    dispatcher task (one per frontend)
+      │ weighted-fair pick: backlogged tenant with smallest virtual tag
+      │ drain one quantum (<= max_batch) of that tenant's queue
+      │ execute in a worker thread:
+      │   exact   -> GeometryService.submit(...) + flush(tenant)   (coalesced + cached)
+      │   degraded-> ShardedIndex.knn_home(...)                    (home shard only)
+      ▼
+    resolve futures with Reply(value, approximate=...)
+
+Fairness is **weighted-fair dispatch**, not FIFO: a heavy tenant that
+floods its queue only advances its own virtual time, so a light
+tenant's requests are picked within one quantum per competitor and its
+tail latency stays bounded (the load gate in ``BENCH_load.json`` holds
+the light tenant's p99 to <= 3x its solo value under heavy-tenant
+saturation).
+
+Degradation is **explicit and labelled**: in the DEGRADED admission
+state, kNN requests of tenants whose index has the home-shard-only
+path are answered by :meth:`ShardedIndex.knn_home` and returned with
+``approximate=True`` — real points at true distances, just possibly
+not the globally nearest — never a silently wrong exact-looking
+answer.  All other requests (and all tenants without a degraded path)
+stay exact.
+
+The executor keeps numpy work off the event loop, so open-loop load
+generators (:mod:`repro.frontend.load`) measure genuine queueing
+behaviour: arrivals keep being admitted (or typed-rejected) while a
+batch executes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs.registry import MetricsRegistry
+from ..serve.service import KINDS, GeometryService
+from .admission import DEGRADED, NORMAL, OVERLOADED, AdmissionController
+from .dispatch import TokenBucket, WeightedFairScheduler
+from .errors import (
+    Overloaded,
+    QuotaExceeded,
+    RequestTimeout,
+    ServiceClosed,
+    UnknownTenant,
+)
+
+__all__ = ["Frontend", "Reply"]
+
+_STATE_CODE = {NORMAL: 0, DEGRADED: 1, OVERLOADED: 2}
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One answered front-end request.
+
+    ``value`` is exactly what the underlying query returns ((sq-dists,
+    ids) for kNN/allnn, an id array for ranges).  ``approximate`` is
+    the degradation label: True if and only if the answer came from the
+    home-shard-only path under overload — approximate replies are never
+    returned unlabelled, and exact replies never carry the flag.
+    """
+
+    value: object
+    approximate: bool
+    tenant: str
+    kind: str
+    queue_wait: float = 0.0
+    cache_hit: bool = False
+
+
+class _Request:
+    __slots__ = ("kind", "payload", "kw", "future", "enqueued_at", "degraded")
+
+    def __init__(self, kind, payload, kw, future, enqueued_at, degraded):
+        self.kind = kind
+        self.payload = payload
+        self.kw = kw
+        self.future = future
+        self.enqueued_at = enqueued_at
+        self.degraded = degraded
+
+
+@dataclass
+class _Tenant:
+    name: str
+    index: object
+    weight: float
+    bucket: TokenBucket
+    max_depth: int
+    degradable: bool
+    queue: deque = field(default_factory=deque)
+
+
+class Frontend:
+    """Async multi-tenant front-end with fair dispatch and admission.
+
+    Parameters
+    ----------
+    service:
+        The :class:`GeometryService` to execute through (manual mode;
+        the front-end is its dispatcher).  One is created — and owned,
+        i.e. closed by :meth:`close` — when omitted.
+    max_batch:
+        Dispatch quantum: most requests drained from one tenant's queue
+        per scheduling decision (also the coalescing bound downstream).
+    queue_depth:
+        Per-tenant queue bound; arrivals past it are shed with a typed
+        :class:`Overloaded` even in the NORMAL state.
+    degrade_at / reject_at:
+        Total-depth thresholds of the admission state machine (default
+        ``queue_depth // 2`` and ``queue_depth``).  See
+        :mod:`repro.frontend.admission` for the hysteresis rules.
+    registry:
+        Metrics registry for the per-tenant labelled gauges/counters
+        (the owned service publishes on the same one, so a single
+        scrape covers both layers).
+    clock:
+        Injectable monotonic clock (tests drive quotas deterministically).
+    """
+
+    def __init__(
+        self,
+        *,
+        service: GeometryService | None = None,
+        max_batch: int = 256,
+        queue_depth: int = 1024,
+        degrade_at: int | None = None,
+        reject_at: int | None = None,
+        resume_frac: float = 0.5,
+        registry: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.max_batch = int(max_batch)
+        self.queue_depth = int(queue_depth)
+        self._clock = clock
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._own_service = service is None
+        if service is None:
+            service = GeometryService(
+                max_batch=max_batch,
+                max_pending=max(4 * queue_depth, 4096),
+                registry=self.registry,
+            )
+        self._service = service
+
+        self._tenants: dict[str, _Tenant] = {}
+        self._sched = WeightedFairScheduler()
+
+        reg = self.registry
+        self._g_depth = reg.gauge(
+            "frontend_queue_depth", "per-tenant front-end queue depth",
+            labels=("tenant",),
+        )
+        self._g_depth_total = reg.gauge(
+            "frontend_queue_depth_total", "front-end queue depth, all tenants"
+        ).set_function(lambda: sum(len(t.queue) for t in self._tenants.values()))
+        self._g_state = reg.gauge(
+            "frontend_admission_state",
+            "admission state (0=normal, 1=degraded, 2=overloaded)",
+        )
+        self._g_hit_rate = reg.gauge(
+            "frontend_hit_rate", "per-tenant result-cache hit rate",
+            labels=("tenant",),
+        )
+        self._c_requests = reg.counter(
+            "frontend_requests_total", "requests submitted per tenant",
+            labels=("tenant",),
+        )
+        self._c_completed = reg.counter(
+            "frontend_completed_total", "requests answered per tenant",
+            labels=("tenant",),
+        )
+        self._c_hits = reg.counter(
+            "frontend_cache_hits_total", "cache-served requests per tenant",
+            labels=("tenant",),
+        )
+        self._c_degraded = reg.counter(
+            "frontend_degraded_total",
+            "requests answered approximately (home shard only) per tenant",
+            labels=("tenant",),
+        )
+        self._c_rejected = reg.counter(
+            "frontend_rejected_total",
+            "requests shed by admission control per tenant",
+            labels=("tenant",),
+        )
+        self._c_quota = reg.counter(
+            "frontend_quota_rejections_total",
+            "requests shed by token-bucket quotas per tenant",
+            labels=("tenant",),
+        )
+
+        # the admission controller reads the same gauge the registry
+        # exports, so the decision input and the metric cannot diverge
+        self.admission = AdmissionController(
+            lambda: self._g_depth_total.value,
+            degrade_at=degrade_at if degrade_at is not None
+            else max(1, queue_depth // 2),
+            reject_at=reject_at if reject_at is not None else queue_depth,
+            resume_frac=resume_frac,
+        )
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-frontend"
+        )
+        self._wake: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._closing = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # tenancy
+    # ------------------------------------------------------------------
+    def register_tenant(
+        self,
+        name: str,
+        index,
+        *,
+        weight: float = 1.0,
+        rate: float | None = None,
+        burst: float | None = None,
+        max_depth: int | None = None,
+    ) -> None:
+        """Register a tenant owning ``index`` under ``name``.
+
+        ``weight`` is the fair-dispatch share; ``rate``/``burst`` the
+        token-bucket quota in requests/second (None = unlimited);
+        ``max_depth`` a per-tenant queue bound (defaults to the
+        front-end's ``queue_depth``).
+        """
+        if self._closed or self._closing:
+            raise ServiceClosed("frontend is closed")
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} already registered")
+        self._service.register(name, index)
+        t = _Tenant(
+            name=name,
+            index=index,
+            weight=float(weight),
+            bucket=TokenBucket(rate, burst, clock=self._clock),
+            max_depth=int(max_depth) if max_depth is not None else self.queue_depth,
+            degradable=hasattr(index, "knn_home"),
+        )
+        self._tenants[name] = t
+        self._sched.add(name, weight)
+        self._g_depth.labels(name).set_function(lambda t=t: len(t.queue))
+        self._g_hit_rate.labels(name).set_function(
+            lambda n=name: self._hit_rate(n)
+        )
+
+    def _fair_share(self, t: _Tenant) -> float:
+        """``t``'s weight-proportional share of the global queue budget."""
+        total_w = sum(s.weight for s in self._tenants.values())
+        return max(1.0, self.admission.reject_at * t.weight / total_w)
+
+    def _hit_rate(self, name: str) -> float:
+        done = self._c_completed.labels(name).value
+        return self._c_hits.labels(name).value / done if done else 0.0
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def tenant_index(self, name: str):
+        t = self._tenants.get(name)
+        if t is None:
+            raise UnknownTenant(name)
+        return t.index
+
+    # ------------------------------------------------------------------
+    # await-able query API
+    # ------------------------------------------------------------------
+    async def knn(self, tenant: str, q, k: int, *, exclude_self: bool = False,
+                  timeout: float | None = None) -> Reply:
+        """k nearest neighbors of one query point; value is ((k,), (k,))."""
+        return await self._submit(
+            tenant, "knn", q, {"k": int(k), "exclude_self": bool(exclude_self)},
+            timeout,
+        )
+
+    async def box(self, tenant: str, lo, hi, *,
+                  timeout: float | None = None) -> Reply:
+        """Ids of the tenant's points inside the closed box [lo, hi]."""
+        return await self._submit(tenant, "box", (lo, hi), {}, timeout)
+
+    async def ball(self, tenant: str, center, radius: float, *,
+                   timeout: float | None = None) -> Reply:
+        """Ids of the tenant's points within ``radius`` of ``center``."""
+        return await self._submit(
+            tenant, "ball", center, {"radius": float(radius)}, timeout
+        )
+
+    async def allnn(self, tenant: str, *, timeout: float | None = None) -> Reply:
+        """Each point's nearest neighbor: value is ((n,), (n,))."""
+        return await self._submit(tenant, "allnn", None, {}, timeout)
+
+    async def submit(self, tenant: str, kind: str, payload=None, *,
+                     timeout: float | None = None, **kw) -> Reply:
+        """Generic entry point mirroring ``GeometryService.submit``."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown request kind {kind!r}; expected {KINDS}")
+        return await self._submit(tenant, kind, payload, kw, timeout)
+
+    # ------------------------------------------------------------------
+    # admission + enqueue
+    # ------------------------------------------------------------------
+    async def _submit(self, tenant, kind, payload, kw, timeout) -> Reply:
+        if self._closed or self._closing:
+            raise ServiceClosed("frontend is closed")
+        t = self._tenants.get(tenant)
+        if t is None:
+            raise UnknownTenant(tenant)
+        self._c_requests.labels(tenant).inc()
+
+        # per-tenant quota: all-or-nothing token take, exact retry-after
+        wait = t.bucket.try_acquire()
+        if wait > 0.0:
+            self._c_quota.labels(tenant).inc()
+            self._c_rejected.labels(tenant).inc()
+            raise QuotaExceeded(tenant, wait)
+
+        # depth-driven admission state machine.  In OVERLOADED only the
+        # tenants at/above their weighted fair share of the queue budget
+        # are shed — a light tenant with a near-empty queue keeps being
+        # served (degraded when possible) no matter how hard a heavy
+        # tenant floods the shared front-end.
+        decision = self.admission.decide()
+        self._g_state.set(_STATE_CODE[decision.state])
+        if not decision.admit and len(t.queue) >= self._fair_share(t):
+            self._c_rejected.labels(tenant).inc()
+            raise Overloaded(
+                decision.depth, self.admission.reject_at, decision.retry_after
+            )
+        if len(t.queue) >= t.max_depth:
+            self._c_rejected.labels(tenant).inc()
+            raise Overloaded(
+                len(t.queue), t.max_depth, decision.retry_after
+                or self.admission._retry_after(len(t.queue))
+            )
+        degraded = decision.state != NORMAL and kind == "knn" and t.degradable
+
+        loop = asyncio.get_running_loop()
+        req = _Request(kind, payload, kw, loop.create_future(),
+                       self._clock(), degraded)
+        t.queue.append(req)
+        self._sched.arrive(tenant)
+        self._ensure_dispatcher(loop)
+        self._wake.set()
+
+        if timeout is None:
+            return await req.future
+        try:
+            return await asyncio.wait_for(req.future, timeout)
+        except asyncio.TimeoutError:
+            raise RequestTimeout(timeout) from None
+
+    # ------------------------------------------------------------------
+    # weighted-fair dispatcher
+    # ------------------------------------------------------------------
+    def _ensure_dispatcher(self, loop) -> None:
+        if self._wake is None:
+            self._wake = asyncio.Event()
+        if self._task is None or self._task.done():
+            self._task = loop.create_task(
+                self._dispatch_loop(), name="repro-frontend-dispatch"
+            )
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if self._sched.total_backlog() == 0:
+                if self._closing:
+                    return
+                self._wake.clear()
+                if self._sched.total_backlog() == 0 and not self._closing:
+                    await self._wake.wait()
+                continue
+
+            name = self._sched.pick()
+            t = self._tenants[name]
+            batch: list[_Request] = []
+            taken = 0
+            while t.queue and len(batch) < self.max_batch:
+                req = t.queue.popleft()
+                taken += 1
+                if not req.future.cancelled():
+                    batch.append(req)
+            self._sched.dispatched(name, taken)
+            if not batch:
+                continue
+
+            t0 = self._clock()
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._pool, self._execute_batch, t, batch, t0
+                )
+            except Exception as exc:  # executor itself failed (shutdown race)
+                outcomes = [(False, exc)] * len(batch)
+            self.admission.note_drained(len(batch), self._clock() - t0)
+            for req, (ok, val) in zip(batch, outcomes):
+                fut = req.future
+                if fut.cancelled():
+                    continue
+                if ok:
+                    fut.set_result(val)
+                else:
+                    fut.set_exception(val)
+
+    # -- worker-thread execution ---------------------------------------
+    def _execute_batch(self, t: _Tenant, batch: list[_Request], t0: float):
+        """Execute one tenant quantum off the event loop.
+
+        Exact requests ride the coalescing service (batching + cache);
+        degraded kNN requests go straight to the index's
+        home-shard-only path, grouped by (k, exclude_self) so one
+        vectorized probe answers the whole group.
+        """
+        out: dict[int, tuple[bool, object]] = {}
+        exact = [r for r in batch if not r.degraded]
+        degraded = [r for r in batch if r.degraded]
+
+        tickets = []
+        for r in exact:
+            try:
+                tickets.append(
+                    (r, self._service.submit(t.name, r.kind, r.payload,
+                                             timeout=None, **r.kw))
+                )
+            except Exception as exc:
+                out[id(r)] = (False, exc)
+        if tickets:
+            self._service.flush(t.name)
+        for r, tk in tickets:
+            try:
+                value = tk.result(0)
+                hit = bool(tk.metrics.cache_hit) if tk.metrics else False
+                if hit:
+                    self._c_hits.labels(t.name).inc()
+                self._c_completed.labels(t.name).inc()
+                out[id(r)] = (True, Reply(
+                    value=value, approximate=False, tenant=t.name,
+                    kind=r.kind, queue_wait=t0 - r.enqueued_at, cache_hit=hit,
+                ))
+            except Exception as exc:
+                out[id(r)] = (False, exc)
+
+        if degraded:
+            groups: dict[tuple, list[_Request]] = {}
+            for r in degraded:
+                groups.setdefault(
+                    (r.kw["k"], r.kw.get("exclude_self", False)), []
+                ).append(r)
+            for (k, excl), reqs in groups.items():
+                try:
+                    qs = np.ascontiguousarray(
+                        [np.asarray(r.payload, dtype=np.float64) for r in reqs]
+                    )
+                    d2, gid = t.index.knn_home(qs, k, exclude_self=excl)
+                except Exception as exc:
+                    for r in reqs:
+                        out[id(r)] = (False, exc)
+                    continue
+                for i, r in enumerate(reqs):
+                    self._c_degraded.labels(t.name).inc()
+                    self._c_completed.labels(t.name).inc()
+                    out[id(r)] = (True, Reply(
+                        value=(d2[i], gid[i]), approximate=True,
+                        tenant=t.name, kind="knn",
+                        queue_wait=t0 - r.enqueued_at,
+                    ))
+        return [out[id(r)] for r in batch]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def close(self, *, drain: bool = True) -> None:
+        """Close the front-end; idempotent and drain-safe.
+
+        With ``drain=True`` (default) every queued request executes
+        before the dispatcher exits; with ``drain=False`` queued
+        requests are rejected with a typed :class:`ServiceClosed`.
+        Either way in-flight work completes, a second close is a no-op,
+        and submissions after the first close raise ``ServiceClosed``.
+        """
+        if self._closed:
+            return
+        self._closing = True
+        if not drain:
+            for t in self._tenants.values():
+                while t.queue:
+                    req = t.queue.popleft()
+                    if not req.future.done():
+                        req.future.set_exception(
+                            ServiceClosed("frontend is closed")
+                        )
+                self._sched.dispatched(t.name, self._sched.backlog(t.name))
+        if self._task is not None:
+            if self._wake is not None:
+                self._wake.set()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+        if self._closed:  # a concurrent close finished the teardown
+            return
+        self._closed = True
+        # stragglers (enqueued between drain and task exit) get typed errors
+        for t in self._tenants.values():
+            while t.queue:
+                req = t.queue.popleft()
+                if not req.future.done():
+                    req.future.set_exception(ServiceClosed("frontend is closed"))
+        if self._own_service:
+            self._service.close()
+        self._pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "Frontend":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+    def pending(self, tenant: str | None = None) -> int:
+        if tenant is None:
+            return int(self._g_depth_total.value)
+        t = self._tenants.get(tenant)
+        if t is None:
+            raise UnknownTenant(tenant)
+        return len(t.queue)
+
+    def snapshot(self) -> dict:
+        """Front-end-wide stats: per-tenant counters + admission state."""
+        out = {
+            "tenants": self.tenants(),
+            "admission_state": self.admission.state,
+            "queue_depth_total": self.pending(),
+            "drain_rate": self.admission.drain_rate,
+            "per_tenant": {},
+        }
+        for name in self._tenants:
+            out["per_tenant"][name] = {
+                "queue_depth": self.pending(name),
+                "requests": int(self._c_requests.labels(name).value),
+                "completed": int(self._c_completed.labels(name).value),
+                "rejected": int(self._c_rejected.labels(name).value),
+                "quota_rejections": int(self._c_quota.labels(name).value),
+                "degraded": int(self._c_degraded.labels(name).value),
+                "cache_hits": int(self._c_hits.labels(name).value),
+                "hit_rate": self._hit_rate(name),
+            }
+        return out
+
+    def metrics_text(self) -> str:
+        """The shared registry in Prometheus text exposition format."""
+        return self.registry.render_prometheus()

@@ -18,6 +18,15 @@ a consistent cut across every metric (exactly what the old hand-rolled
 (:meth:`Gauge.set_function`) for values that live elsewhere — queue
 lengths, cache sizes — which are polled at snapshot time instead of
 being double-booked.
+
+Metrics may be **labelled**: ``registry.counter("reqs", labels=("tenant",))``
+returns a :class:`MetricFamily` whose :meth:`~MetricFamily.labels`
+method vends one child metric per label-value combination (created
+lazily, like prometheus_client).  Families render in the standard text
+exposition form — one ``# HELP``/``# TYPE`` header, then one sample per
+child with the label set inline (``reqs{tenant="acme"} 3``) — and
+snapshot as a dict keyed by the rendered label string, so per-tenant
+serving metrics are first-class in both expositions.
 """
 
 from __future__ import annotations
@@ -32,11 +41,25 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricFamily",
     "MetricsRegistry",
     "default_registry",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(v: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    pairs = ",".join(
+        f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)
+    )
+    return "{" + pairs + "}"
 
 
 def _fmt(v: float) -> str:
@@ -169,6 +192,76 @@ class Histogram(_Metric):
         return {"count": total, "sum": s, "buckets": out}
 
 
+class MetricFamily(_Metric):
+    """A labelled metric: one child Counter/Gauge/Histogram per label set.
+
+    Children are created lazily by :meth:`labels` and share the
+    registry lock.  The family's ``value`` is a dict keyed by the
+    rendered label string (``'{tenant="acme"}'``), which is also how it
+    appears in :meth:`MetricsRegistry.snapshot`.
+    """
+
+    def __init__(self, cls, name, help, lock, label_names: tuple[str, ...], **kw):
+        super().__init__(name, help, lock)
+        if not label_names:
+            raise ValueError("a metric family needs at least one label name")
+        for ln in label_names:
+            if not _LABEL_RE.match(ln):
+                raise ValueError(f"invalid label name {ln!r}")
+        self._cls = cls
+        self._kw = kw
+        self.label_names = tuple(label_names)
+        self._children: OrderedDict[tuple, _Metric] = OrderedDict()
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self._cls.kind
+
+    def _resolve(self, args: tuple, kw: dict) -> tuple[str, ...]:
+        if kw:
+            if args or set(kw) != set(self.label_names):
+                raise ValueError(
+                    f"family {self.name!r} takes labels {self.label_names}"
+                )
+            return tuple(str(kw[n]) for n in self.label_names)
+        if len(args) != len(self.label_names):
+            raise ValueError(
+                f"family {self.name!r} takes {len(self.label_names)} "
+                f"label value(s) {self.label_names}, got {len(args)}"
+            )
+        return tuple(str(a) for a in args)
+
+    def labels(self, *args, **kw):
+        """The child metric for one label-value set (created on demand)."""
+        values = self._resolve(args, kw)
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._cls(self.name, self.help, self._lock, **self._kw)
+                child.label_values = values
+                self._children[values] = child
+            return child
+
+    def remove(self, *args, **kw) -> None:
+        """Drop one child (e.g. when its tenant unregisters)."""
+        values = self._resolve(args, kw)
+        with self._lock:
+            self._children.pop(values, None)
+
+    def children(self) -> list[tuple[tuple[str, ...], _Metric]]:
+        with self._lock:
+            return list(self._children.items())
+
+    @property
+    def value(self) -> dict:
+        with self._lock:
+            items = list(self._children.items())
+        return {
+            _label_str(self.label_names, values): child.value
+            for values, child in items
+        }
+
+
 class MetricsRegistry:
     """A named collection of metrics with one consistent snapshot."""
 
@@ -177,28 +270,41 @@ class MetricsRegistry:
         self._metrics: OrderedDict[str, _Metric] = OrderedDict()
 
     # -- registration ------------------------------------------------------
-    def _get_or_make(self, cls, name: str, help: str, **kw):
+    def _get_or_make(self, cls, name: str, help: str, labels=(), **kw):
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
+        labels = tuple(labels)
         with self._lock:
             m = self._metrics.get(name)
             if m is None:
-                m = self._metrics[name] = cls(name, help, self._lock, **kw)
-            elif not isinstance(m, cls):
+                if labels:
+                    m = MetricFamily(cls, name, help, self._lock, labels, **kw)
+                else:
+                    m = cls(name, help, self._lock, **kw)
+                self._metrics[name] = m
+            elif isinstance(m, MetricFamily):
+                if m._cls is not cls or m.label_names != labels:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a {m.kind} "
+                        f"family with labels {m.label_names}"
+                    )
+            elif labels or not isinstance(m, cls):
                 raise ValueError(
                     f"metric {name!r} already registered as {m.kind}, "
                     f"requested {cls.kind}"
+                    + (f" with labels {labels}" if labels else "")
                 )
             return m
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_make(Counter, name, help)
+    def counter(self, name: str, help: str = "", labels=()) -> Counter:
+        return self._get_or_make(Counter, name, help, labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_make(Gauge, name, help)
+    def gauge(self, name: str, help: str = "", labels=()) -> Gauge:
+        return self._get_or_make(Gauge, name, help, labels)
 
-    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS) -> Histogram:
-        return self._get_or_make(Histogram, name, help, buckets=buckets)
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS,
+                  labels=()) -> Histogram:
+        return self._get_or_make(Histogram, name, help, labels, buckets=buckets)
 
     # -- introspection -----------------------------------------------------
     def names(self) -> list[str]:
@@ -219,6 +325,19 @@ class MetricsRegistry:
         with self._lock:
             return {name: m.value for name, m in self._metrics.items()}
 
+    @staticmethod
+    def _render_samples(lines: list[str], m: _Metric, labelstr: str = "") -> None:
+        """Samples for one (possibly labelled) concrete metric."""
+        if isinstance(m, Histogram):
+            v = m.value
+            base = labelstr[1:-1] + "," if labelstr else ""
+            for le, c in v["buckets"].items():
+                lines.append(f'{m.name}_bucket{{{base}le="{le}"}} {c}')
+            lines.append(f"{m.name}_sum{labelstr} {_fmt(v['sum'])}")
+            lines.append(f"{m.name}_count{labelstr} {v['count']}")
+        else:
+            lines.append(f"{m.name}{labelstr} {_fmt(m.value)}")
+
     def render_prometheus(self) -> str:
         """Prometheus text exposition format of every metric."""
         lines: list[str] = []
@@ -228,14 +347,13 @@ class MetricsRegistry:
             if m.help:
                 lines.append(f"# HELP {m.name} {m.help}")
             lines.append(f"# TYPE {m.name} {m.kind}")
-            if isinstance(m, Histogram):
-                v = m.value
-                for le, c in v["buckets"].items():
-                    lines.append(f'{m.name}_bucket{{le="{le}"}} {c}')
-                lines.append(f"{m.name}_sum {_fmt(v['sum'])}")
-                lines.append(f"{m.name}_count {v['count']}")
+            if isinstance(m, MetricFamily):
+                for values, child in m.children():
+                    self._render_samples(
+                        lines, child, _label_str(m.label_names, values)
+                    )
             else:
-                lines.append(f"{m.name} {_fmt(m.value)}")
+                self._render_samples(lines, m)
         return "\n".join(lines) + "\n"
 
 

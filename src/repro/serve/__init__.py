@@ -32,11 +32,15 @@ from .metrics import RequestMetrics, ServiceStats
 from .service import KINDS, GeometryService
 from .trace import (
     ReplayReport,
+    TraceMismatch,
     load_trace,
+    open_loop_arrivals,
     replay,
     run_unbatched,
     save_trace,
     synthetic_trace,
+    validate_trace,
+    zipf_trace,
 )
 
 __all__ = [
@@ -57,8 +61,12 @@ __all__ = [
     "load_trace",
     "make_key",
     "query_digest",
+    "TraceMismatch",
+    "open_loop_arrivals",
     "replay",
     "run_unbatched",
     "save_trace",
     "synthetic_trace",
+    "validate_trace",
+    "zipf_trace",
 ]

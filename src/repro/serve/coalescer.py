@@ -123,17 +123,28 @@ class Coalescer:
     def group_sizes(self) -> dict[tuple, int]:
         return {k: len(g.requests) for k, g in self._groups.items()}
 
-    def take_batch(self, max_batch: int) -> list[PendingRequest]:
+    def pending_for(self, dataset: str) -> int:
+        """Requests currently queued for one dataset."""
+        return sum(
+            len(g.requests) for k, g in self._groups.items() if k[0] == dataset
+        )
+
+    def take_batch(self, max_batch: int, dataset: str | None = None) -> list[PendingRequest]:
         """Drain up to ``max_batch`` requests for one dataset.
 
-        The dataset owning the globally oldest request is selected;
-        its groups drain whole-group, oldest-head first, so no group
-        starves and compatible requests stay contiguous.
+        With ``dataset=None`` the dataset owning the globally oldest
+        request is selected (FIFO across datasets); passing a dataset
+        is the dispatch hook an external scheduler (the multi-tenant
+        front-end's weighted-fair dispatcher) uses to decide *which*
+        tenant's queue drains next.  Either way groups drain
+        whole-group, oldest-head first, so no group starves and
+        compatible requests stay contiguous.
         """
         if not self._groups:
             return []
-        oldest_key = min(self._groups, key=lambda k: self._groups[k].oldest)
-        dataset = oldest_key[0]
+        if dataset is None:
+            oldest_key = min(self._groups, key=lambda k: self._groups[k].oldest)
+            dataset = oldest_key[0]
         keys = sorted(
             (k for k in self._groups if k[0] == dataset),
             key=lambda k: self._groups[k].oldest,

@@ -42,15 +42,23 @@ class Overloaded(ServeError):
     pending:
         Number of requests queued when the rejection happened.
     limit:
-        The service's ``max_pending`` bound.
+        The bound admission control enforced (``max_pending`` for the
+        service's coalescing queue, the reject depth for the front-end).
+    retry_after:
+        Seconds the client should back off before retrying, when the
+        rejecting layer can estimate one (None otherwise).  The
+        front-end derives it from its drain rate; quota rejections use
+        the token-bucket refill time.
     """
 
-    def __init__(self, pending: int, limit: int):
-        super().__init__(
-            f"service overloaded: {pending} requests pending (limit {limit})"
-        )
+    def __init__(self, pending: int, limit: int, retry_after: float | None = None):
+        msg = f"service overloaded: {pending} requests pending (limit {limit})"
+        if retry_after is not None:
+            msg += f"; retry after {retry_after:.4g}s"
+        super().__init__(msg)
         self.pending = pending
         self.limit = limit
+        self.retry_after = retry_after
 
 
 class RequestTimeout(ServeError):

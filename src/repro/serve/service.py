@@ -308,12 +308,18 @@ class GeometryService:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def flush(self) -> int:
-        """Dispatch every pending request now; returns #tickets resolved."""
+    def flush(self, dataset: str | None = None) -> int:
+        """Dispatch pending requests now; returns #tickets resolved.
+
+        With a ``dataset`` only that dataset's queue drains — the
+        dispatch hook an external scheduler (e.g. the multi-tenant
+        front-end) uses to control which tenant executes next instead
+        of the coalescer's FIFO-across-datasets default.
+        """
         served = 0
         while True:
             with self._cond:
-                batch = self._coal.take_batch(self.max_batch)
+                batch = self._coal.take_batch(self.max_batch, dataset)
             if not batch:
                 return served
             served += self._execute(batch)
@@ -321,6 +327,11 @@ class GeometryService:
     def pending(self) -> int:
         with self._cond:
             return len(self._coal)
+
+    def pending_for(self, dataset: str) -> int:
+        """Requests currently queued for one dataset."""
+        with self._cond:
+            return self._coal.pending_for(dataset)
 
     def _execute(self, batch: list[PendingRequest]) -> int:
         """Run one coalesced slab (single dataset, possibly mixed kinds)."""
@@ -440,11 +451,29 @@ class GeometryService:
             self._stopping = False
 
     def close(self) -> None:
-        """Stop and refuse further submissions; pending work is drained."""
+        """Stop and refuse further submissions; pending work is drained.
+
+        Idempotent and drain-safe: the first call stops the dispatcher,
+        marks the service closed (so racing submitters get a typed
+        :class:`ServiceClosed`), and flushes every request that made it
+        into the queue — in-flight requests complete.  Any straggler
+        the final flush could not execute is rejected with
+        :class:`ServiceClosed` so no ticket is left unresolved.  A
+        second close is a no-op.
+        """
+        with self._cond:
+            if self._closed:
+                return
         self.stop()
         with self._cond:
             self._closed = True
         self.flush()
+        # nothing can enqueue past the closed flag; reject any ticket a
+        # failed execution path might have left behind
+        with self._cond:
+            stragglers = self._coal.drain()
+        for r in stragglers:
+            r.ticket.reject(ServiceClosed("service is closed"))
 
     def __enter__(self) -> "GeometryService":
         return self

@@ -33,11 +33,15 @@ from .service import GeometryService
 
 __all__ = [
     "ReplayReport",
+    "TraceMismatch",
     "load_trace",
+    "open_loop_arrivals",
     "replay",
     "run_unbatched",
     "save_trace",
     "synthetic_trace",
+    "validate_trace",
+    "zipf_trace",
 ]
 
 
@@ -88,6 +92,187 @@ def synthetic_trace(
     return trace
 
 
+def zipf_trace(
+    points,
+    n_requests: int,
+    *,
+    kinds: tuple[str, ...] = ("knn", "ball", "box"),
+    k: int = 8,
+    s: float = 1.2,
+    hot: int = 1024,
+    extent_frac: float = 0.05,
+    seed: int = 0,
+) -> list[dict]:
+    """A Zipf-skewed hot-spot trace: queries concentrate on few keys.
+
+    Query targets are drawn from a ``hot``-point subset of the dataset
+    with rank-``r`` probability proportional to ``1 / r**s`` — the
+    classic web-traffic shape where a handful of keys absorb most of
+    the load.  Requests against the same hot key repeat *verbatim*
+    (same payload bytes), so the skew is visible to the result cache,
+    unlike :func:`synthetic_trace`'s jittered repeats.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or len(pts) == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    if s <= 0:
+        raise ValueError("zipf exponent s must be > 0")
+    rng = np.random.default_rng(seed)
+    lo, hi = pts.min(axis=0), pts.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    m = min(int(hot), len(pts))
+    keys = rng.choice(len(pts), size=m, replace=False)
+    p = 1.0 / np.arange(1, m + 1, dtype=np.float64) ** s
+    p /= p.sum()
+    picks = rng.choice(m, size=n_requests, p=p)
+    trace: list[dict] = []
+    for i in range(n_requests):
+        kind = kinds[picks[i] % len(kinds)] if len(kinds) > 1 else kinds[0]
+        base = pts[keys[picks[i]]]
+        if kind == "knn":
+            trace.append({"op": "knn", "q": base.tolist(), "k": k})
+        elif kind == "ball":
+            r = float(extent_frac * span.max())
+            trace.append({"op": "ball", "c": base.tolist(), "r": r})
+        elif kind == "box":
+            half = extent_frac * span / 2
+            trace.append(
+                {"op": "box", "lo": (base - half).tolist(), "hi": (base + half).tolist()}
+            )
+        elif kind == "allnn":
+            trace.append({"op": "allnn"})
+        else:
+            raise ValueError(f"unknown trace kind {kind!r}")
+    return trace
+
+
+def open_loop_arrivals(
+    n: int,
+    rate: float,
+    *,
+    pattern: str = "poisson",
+    burst_factor: float = 8.0,
+    burst_frac: float = 0.1,
+    seed: int = 0,
+) -> np.ndarray:
+    """Open-loop arrival offsets (seconds) for ``n`` requests at ``rate``.
+
+    Open-loop means the schedule is fixed up front: requests fire at
+    these offsets whether or not earlier ones completed, which is what
+    exposes queueing delay and saturation (a closed loop self-throttles
+    and hides both).
+
+    * ``"poisson"`` — exponential inter-arrivals at ``rate`` req/s.
+    * ``"bursty"`` — a two-state Markov-modulated Poisson process: a
+      ``burst_frac`` fraction of requests arrive in bursts running at
+      ``burst_factor`` times the base rate, the rest in quiet phases
+      re-scaled so the long-run average stays ``rate``.
+
+    Returns a sorted (n,) float array of offsets starting at ~0.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be > 0 req/s")
+    if n <= 0:
+        return np.empty(0)
+    rng = np.random.default_rng(seed)
+    if pattern == "poisson":
+        gaps = rng.exponential(1.0 / rate, n)
+    elif pattern == "bursty":
+        if not 0.0 < burst_frac < 1.0:
+            raise ValueError("burst_frac must be in (0, 1)")
+        if burst_factor <= 1.0:
+            raise ValueError("burst_factor must be > 1")
+        # quiet rate chosen so the long-run mean gap is 1/rate:
+        # burst_frac of gaps at rate*burst_factor, the rest at r_q
+        mean_gap = 1.0 / rate
+        burst_gap = 1.0 / (rate * burst_factor)
+        quiet_gap = (mean_gap - burst_frac * burst_gap) / (1.0 - burst_frac)
+        in_burst = rng.random(n) < burst_frac
+        gaps = np.where(
+            in_burst,
+            rng.exponential(burst_gap, n),
+            rng.exponential(quiet_gap, n),
+        )
+    else:
+        raise ValueError(f"unknown arrival pattern {pattern!r}")
+    t = np.cumsum(gaps)
+    return t - t[0]
+
+
+class TraceMismatch(ValueError):
+    """A trace op is inconsistent with the dataset it is replayed against."""
+
+
+def validate_trace(trace: list[dict], n_points: int, dim: int) -> None:
+    """Check every op against the loaded dataset; raise :class:`TraceMismatch`.
+
+    Catches the replay-against-the-wrong-file class of mistakes — a
+    trace generated for a larger or higher-dimensional dataset — with
+    a one-line diagnosis instead of a bare engine error mid-replay.
+    """
+
+    def _dim_of(x) -> int:
+        a = np.asarray(x, dtype=np.float64)
+        if a.ndim != 1:
+            raise TraceMismatch(f"op {i}: expected a flat coordinate list, got shape {a.shape}")
+        return len(a)
+
+    n_live = int(n_points)  # inserts grow the queryable population
+    for i, op in enumerate(trace):
+        kind = op.get("op")
+        if kind == "knn":
+            if "q" not in op or "k" not in op:
+                raise TraceMismatch(f"op {i}: knn needs 'q' and 'k'")
+            d = _dim_of(op["q"])
+            if d != dim:
+                raise TraceMismatch(
+                    f"op {i}: knn query has dimension {d} but the loaded "
+                    f"points are {dim}-dimensional"
+                )
+            k = int(op["k"])
+            if k < 1:
+                raise TraceMismatch(f"op {i}: knn k must be >= 1, got {k}")
+            if k > n_live:
+                raise TraceMismatch(
+                    f"op {i}: knn requests k={k} neighbors but only "
+                    f"{n_live} points are loaded — was this trace "
+                    f"generated against a larger dataset?"
+                )
+        elif kind == "ball":
+            if "c" not in op or "r" not in op:
+                raise TraceMismatch(f"op {i}: ball needs 'c' and 'r'")
+            d = _dim_of(op["c"])
+            if d != dim:
+                raise TraceMismatch(
+                    f"op {i}: ball center has dimension {d} but the loaded "
+                    f"points are {dim}-dimensional"
+                )
+            if float(op["r"]) < 0:
+                raise TraceMismatch(f"op {i}: ball radius must be >= 0")
+        elif kind == "box":
+            if "lo" not in op or "hi" not in op:
+                raise TraceMismatch(f"op {i}: box needs 'lo' and 'hi'")
+            dlo, dhi = _dim_of(op["lo"]), _dim_of(op["hi"])
+            if dlo != dim or dhi != dim:
+                raise TraceMismatch(
+                    f"op {i}: box corners have dimensions {dlo}/{dhi} but "
+                    f"the loaded points are {dim}-dimensional"
+                )
+        elif kind == "allnn":
+            pass
+        elif kind in ("insert", "erase"):
+            pts = np.asarray(op.get("pts", []), dtype=np.float64)
+            if pts.ndim != 2 or pts.shape[1] != dim:
+                raise TraceMismatch(
+                    f"op {i}: {kind} batch must be (m, {dim}) shaped, "
+                    f"got {pts.shape}"
+                )
+            if kind == "insert":
+                n_live += len(pts)
+        else:
+            raise TraceMismatch(f"op {i}: unknown trace op {kind!r}")
+
+
 def save_trace(path: str | os.PathLike, trace: list[dict]) -> None:
     """Write a trace as JSON lines."""
     with open(os.fspath(path), "w") as f:
@@ -117,6 +302,9 @@ class ReplayReport:
     seconds: float
     results: list = field(repr=False, default_factory=list)
     stats: dict = field(default_factory=dict)
+    #: repr of the first per-request failure, so callers (the CLI) can
+    #: surface *why* a replay had errors instead of just the count
+    first_error: str | None = None
 
     @property
     def throughput(self) -> float:
@@ -204,6 +392,7 @@ def replay(
     errors = 0
     completed = 0
     n_queries = 0
+    first_error = None
     for t in tickets:
         if t is _MUTATION:
             results.append(None)
@@ -215,8 +404,10 @@ def replay(
         try:
             results.append(t.result(timeout))
             completed += 1
-        except Exception:
+        except Exception as exc:
             errors += 1
+            if first_error is None:
+                first_error = repr(exc)
             results.append(None)
     seconds = time.perf_counter() - t0
     return ReplayReport(
@@ -227,6 +418,7 @@ def replay(
         seconds=seconds,
         results=results,
         stats=service.snapshot(),
+        first_error=first_error,
     )
 
 

@@ -300,3 +300,72 @@ class TestShardedIndexBookkeeping:
             ShardedIndex(np.empty((0, 2)), 4)
         with pytest.raises(ValueError):
             ShardedIndex(rng.uniform(0, 1, (10, 2)), 2, skew_threshold=1.0)
+
+
+class TestKnnHome:
+    """The degraded (home-shard-only) query path behind the front-end."""
+
+    def test_exact_on_home_shard_subset(self, rng):
+        pts = rng.uniform(0, 10, (700, 2))
+        idx = ShardedIndex(pts, 8)
+        qs = rng.uniform(0, 10, (50, 2))
+        d2, gid = idx.knn_home(qs, 4)
+        home = idx.part.route(qs)
+        owner = idx.part.route(pts)
+        for i in range(len(qs)):
+            members = np.flatnonzero(owner == home[i])
+            brute = np.sum((pts[members] - qs[i]) ** 2, axis=1)
+            order = np.argsort(brute, kind="stable")[:4]
+            want = np.sort(brute[order])
+            kk = min(4, len(members))
+            assert np.allclose(np.sort(d2[i][:kk]), want[:kk])
+            assert set(gid[i][:kk]) == set(members[order][:kk])
+
+    def test_rank_wise_dominance_vs_exact(self, rng):
+        pts = rng.uniform(0, 10, (900, 3))
+        idx = ShardedIndex(pts, 16)
+        qs = rng.uniform(0, 10, (80, 3))
+        approx_d2, approx_gid = idx.knn_home(qs, 6)
+        exact_d2, _ = idx.knn(qs, 6)
+        fin = np.isfinite(approx_d2)
+        assert np.all(approx_d2[fin] >= exact_d2[fin] - 1e-9)
+        # returned ids are real points at their true distances
+        live = approx_gid >= 0
+        true_d2 = np.sum(
+            (pts[approx_gid[live]]
+             - np.repeat(qs, 6, axis=0).reshape(len(qs), 6, -1)[live]) ** 2,
+            axis=1,
+        )
+        assert np.allclose(approx_d2[live], true_d2)
+
+    def test_underfull_home_shard_pads(self, rng):
+        pts = rng.uniform(0, 10, (60, 2))
+        idx = ShardedIndex(pts, 16)  # tiny shards: k > shard size
+        d2, gid = idx.knn_home(pts[:5], 30)
+        assert np.any(gid == -1)
+        assert np.all(np.isinf(d2[gid == -1]))
+
+    def test_exclude_self_drops_query_point(self, rng):
+        pts = rng.uniform(0, 10, (300, 2))
+        idx = ShardedIndex(pts, 4)
+        d2, gid = idx.knn_home(pts[:30], 3, exclude_self=True)
+        for i in range(30):
+            assert i not in gid[i]
+            assert d2[i][np.isfinite(d2[i])].min() > 0 or np.all(
+                np.isinf(d2[i]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n_shards=st.integers(1, 12),
+           k=st.integers(1, 10))
+    def test_property_dominance_any_cloud(self, seed, n_shards, k):
+        r = np.random.default_rng(seed)
+        pts = r.uniform(0, 100, (int(r.integers(20, 300)), 2))
+        idx = ShardedIndex(pts, n_shards)
+        qs = r.uniform(0, 100, (8, 2))
+        a_d2, a_gid = idx.knn_home(qs, k)
+        e_d2, _ = idx.knn(qs, k)
+        fin = np.isfinite(a_d2) & np.isfinite(e_d2)
+        assert np.all(a_d2[fin] >= e_d2[fin] - 1e-9)
+        # one shard: home == everything, so the answers coincide
+        if idx.n_shards == 1:
+            assert np.allclose(a_d2, e_d2)

@@ -494,3 +494,77 @@ class TestCLI:
         for key in ("submitted", "completed", "hit_rate", "cache_size",
                     "pending", "registry"):
             assert key in snap
+
+
+class TestMetricFamilies:
+    def test_labelled_counter_children_and_exposition(self):
+        r = MetricsRegistry()
+        fam = r.counter("reqs_total", "per-tenant requests",
+                        labels=("tenant",))
+        fam.labels("acme").inc(3)
+        fam.labels(tenant="zen").inc()
+        assert fam.labels("acme") is fam.labels("acme")
+        text = r.render_prometheus()
+        assert "# TYPE reqs_total counter" in text
+        assert 'reqs_total{tenant="acme"} 3' in text
+        assert 'reqs_total{tenant="zen"} 1' in text
+        snap = r.snapshot()["reqs_total"]
+        assert snap['{tenant="acme"}'] == 3
+
+    def test_labelled_gauge_with_function_child(self):
+        r = MetricsRegistry()
+        fam = r.gauge("depth", labels=("tenant",))
+        backing = {"n": 4}
+        fam.labels("a").set_function(lambda: backing["n"])
+        fam.labels("b").set(9)
+        assert 'depth{tenant="a"} 4' in r.render_prometheus()
+        backing["n"] = 11
+        assert 'depth{tenant="a"} 11' in r.render_prometheus()
+        assert r.snapshot()["depth"]['{tenant="b"}'] == 9
+
+    def test_labelled_histogram_merges_le_label(self):
+        r = MetricsRegistry()
+        fam = r.histogram("lat", buckets=(0.1, 1.0), labels=("tenant",))
+        fam.labels("x").observe(0.05)
+        fam.labels("x").observe(5.0)
+        text = r.render_prometheus()
+        assert 'lat_bucket{tenant="x",le="0.1"} 1' in text
+        assert 'lat_bucket{tenant="x",le="+Inf"} 2' in text
+        assert 'lat_count{tenant="x"} 2' in text
+
+    def test_label_value_escaping(self):
+        r = MetricsRegistry()
+        fam = r.counter("c", labels=("who",))
+        fam.labels('ev"il\\ten\nant').inc()
+        text = r.render_prometheus()
+        assert 'who="ev\\"il\\\\ten\\nant"' in text
+
+    def test_collisions_are_errors(self):
+        r = MetricsRegistry()
+        r.counter("a", labels=("tenant",))
+        with pytest.raises(ValueError):
+            r.counter("a")  # plain vs family
+        with pytest.raises(ValueError):
+            r.counter("a", labels=("user",))  # different label names
+        with pytest.raises(ValueError):
+            r.gauge("a", labels=("tenant",))  # different kind
+        r.counter("b")
+        with pytest.raises(ValueError):
+            r.counter("b", labels=("tenant",))  # family vs plain
+        with pytest.raises(ValueError):
+            r.counter("c", labels=("bad label!",))
+
+    def test_wrong_label_arity_rejected(self):
+        r = MetricsRegistry()
+        fam = r.counter("c", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            fam.labels("only-one")
+        with pytest.raises(ValueError):
+            fam.labels(a="x", wrong="y")
+
+    def test_remove_child(self):
+        r = MetricsRegistry()
+        fam = r.gauge("g", labels=("tenant",))
+        fam.labels("gone").set(1)
+        fam.remove("gone")
+        assert r.snapshot()["g"] == {}

@@ -19,14 +19,18 @@ from repro.serve import (
     ResultCache,
     ServiceClosed,
     Ticket,
+    TraceMismatch,
     UnknownDataset,
     load_trace,
     make_key,
+    open_loop_arrivals,
     query_digest,
     replay,
     run_unbatched,
     save_trace,
     synthetic_trace,
+    validate_trace,
+    zipf_trace,
 )
 from repro.serve.cache import MISS
 
@@ -522,3 +526,160 @@ def test_cache_never_stale_with_sharded_index(ops, seed):
         dr, ir = idx.knn(q[None, :], k, engine="recursive")
         assert np.array_equal(d, dr[0]), "stale cached distances"
         assert np.array_equal(i, ir[0]), "stale cached neighbors"
+
+
+# ----------------------------------------------------------------------
+# lifecycle: idempotent, drain-safe close
+# ----------------------------------------------------------------------
+class TestClose:
+    def test_double_close_is_noop(self):
+        svc = _service(KDTree(_pts(50, seed=20)))
+        svc.close()
+        svc.close()
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.knn("data", _pts(50, seed=20)[0], 2)
+
+    def test_close_drains_queued_requests(self):
+        pts = _pts(300, seed=21)
+        svc = _service(KDTree(pts), max_batch=16)
+        tickets = [svc.submit("data", "knn", pts[i], k=3) for i in range(40)]
+        svc.close()  # manual mode: everything still queued at close time
+        for i, t in enumerate(tickets):
+            d, ids = t.result(0)  # must already be resolved
+            dr, ir = KDTree(pts).knn(pts[i][None, :], 3)
+            assert np.array_equal(d, dr[0]) and np.array_equal(ids, ir[0])
+
+    def test_close_while_threaded_dispatcher_running(self):
+        pts = _pts(400, seed=22)
+        svc = _service(KDTree(pts), max_wait=0.001)
+        svc.start()
+        tickets = [svc.submit("data", "knn", pts[i], k=2) for i in range(30)]
+        svc.close()
+        svc.close()
+        # every in-flight request completed or got a typed error
+        for t in tickets:
+            try:
+                d, ids = t.result(1.0)
+                assert len(d) == 2
+            except ServiceClosed:
+                pass
+
+    def test_flush_single_dataset_leaves_others_queued(self):
+        pts_a, pts_b = _pts(100, seed=23), _pts(100, seed=24)
+        svc = _service(KDTree(pts_a), name="a")
+        svc.register("b", KDTree(pts_b))
+        ta = svc.submit("a", "knn", pts_a[0], k=2)
+        tb = svc.submit("b", "knn", pts_b[0], k=2)
+        assert svc.pending_for("a") == 1 and svc.pending_for("b") == 1
+        svc.flush("a")
+        assert ta.done() and not tb.done()
+        assert svc.pending_for("a") == 0 and svc.pending_for("b") == 1
+        svc.flush()
+        assert tb.done()
+        svc.close()
+
+
+# ----------------------------------------------------------------------
+# trace validation and load generators
+# ----------------------------------------------------------------------
+class TestTraceValidation:
+    def test_good_trace_passes(self):
+        pts = _pts(120, seed=25)
+        trace = synthetic_trace(pts, 50, seed=1)
+        validate_trace(trace, len(pts), pts.shape[1])
+
+    def test_oversized_k_names_the_mismatch(self):
+        trace = [{"op": "knn", "q": [1.0, 2.0], "k": 500}]
+        with pytest.raises(TraceMismatch, match="larger dataset"):
+            validate_trace(trace, 100, 2)
+
+    def test_dim_mismatch_is_typed(self):
+        trace = [{"op": "knn", "q": [1.0, 2.0, 3.0], "k": 2}]
+        with pytest.raises(TraceMismatch, match="dim"):
+            validate_trace(trace, 100, 2)
+        with pytest.raises(TraceMismatch):
+            validate_trace([{"op": "ball", "c": [0.0], "r": 1.0}], 100, 2)
+        with pytest.raises(TraceMismatch):
+            validate_trace([{"op": "box", "lo": [0.0, 0.0], "hi": [1.0]}],
+                           100, 2)
+
+    def test_inserts_grow_the_live_count(self):
+        # k=150 is only valid because the insert lands first
+        trace = [
+            {"op": "insert", "pts": [[0.0, 0.0]] * 100},
+            {"op": "knn", "q": [0.0, 0.0], "k": 150},
+        ]
+        validate_trace(trace, 100, 2)
+        with pytest.raises(TraceMismatch):
+            validate_trace(list(reversed(trace)), 100, 2)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TraceMismatch, match="unknown"):
+            validate_trace([{"op": "teleport"}], 10, 2)
+
+
+class TestLoadGenerators:
+    def test_zipf_trace_repeats_verbatim(self):
+        pts = _pts(500, seed=26)
+        trace = zipf_trace(pts, 400, kinds=("knn",), k=4, s=1.5, hot=32,
+                           seed=2)
+        assert len(trace) == 400
+        payloads = [tuple(op["q"]) for op in trace]
+        counts = {}
+        for p in payloads:
+            counts[p] = counts.get(p, 0) + 1
+        top = max(counts.values())
+        # Zipf s=1.5 over 32 keys: the hottest key dominates, and the
+        # repeats are verbatim so the service cache can see them
+        assert top > 400 / 32
+        assert len(counts) <= 32
+
+    def test_zipf_trace_replayable(self):
+        pts = _pts(200, seed=27)
+        trace = zipf_trace(pts, 60, seed=3)
+        validate_trace(trace, len(pts), pts.shape[1])
+        svc = _service(KDTree(pts))
+        rep = replay(svc, "data", trace)
+        assert rep.errors == 0 and rep.completed == 60
+        assert rep.stats["hit_rate"] > 0.0  # verbatim repeats hit
+        svc.close()
+
+    def test_open_loop_arrivals_poisson(self):
+        offs = open_loop_arrivals(20_000, rate=100.0, seed=4)
+        assert len(offs) == 20_000
+        assert offs[0] == 0.0
+        gaps = np.diff(offs)
+        assert np.all(gaps >= 0)
+        assert np.mean(gaps) == pytest.approx(1 / 100.0, rel=0.05)
+
+    def test_open_loop_arrivals_bursty_preserves_mean_rate(self):
+        offs = open_loop_arrivals(40_000, rate=200.0, pattern="bursty",
+                                  burst_factor=8.0, burst_frac=0.1, seed=5)
+        gaps = np.diff(offs)
+        assert np.mean(gaps) == pytest.approx(1 / 200.0, rel=0.1)
+        # bursty arrivals are overdispersed relative to poisson
+        pois = np.diff(open_loop_arrivals(40_000, rate=200.0, seed=5))
+        cv = np.std(gaps) / np.mean(gaps)
+        cv_pois = np.std(pois) / np.mean(pois)
+        assert cv > cv_pois * 1.05
+
+    def test_open_loop_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            open_loop_arrivals(10, rate=0.0)
+        with pytest.raises(ValueError):
+            open_loop_arrivals(10, rate=1.0, pattern="fractal")
+
+
+class TestReplayErrorSurfacing:
+    def test_first_error_recorded(self):
+        pts = _pts(80, seed=28)
+        svc = _service(KDTree(pts))
+        trace = [
+            {"op": "knn", "q": pts[0].tolist(), "k": 2},
+            {"op": "allnn"},
+        ]
+        svc.register("data", KDTree(pts))  # fresh epoch, fine
+        rep = replay(svc, "data", trace)
+        assert rep.errors == 0 and rep.first_error is None
+        svc.close()
