@@ -317,57 +317,76 @@ def cmd_cluster_bench(args) -> int:
     return 0
 
 
-def cmd_load_bench(args) -> int:
-    import asyncio
-
+def _build_load(args, coords):
+    """The two-tenant front-end + open-loop loads ``load-bench``/``dash`` share."""
     from .cluster import ShardedIndex
     from .frontend import Frontend
-    from .frontend.load import TenantLoad, run_open_loop, verify_degraded
+    from .frontend.load import TenantLoad
     from .kdtree import KDTree
     from .serve import zipf_trace
 
-    pts = _load(args.input)
-    coords = pts.coords
     heavy_n = int(args.seconds * args.heavy_rate)
     light_n = int(args.seconds * args.light_rate)
     if heavy_n < 1 or light_n < 1:
         print("error: seconds * rate must give at least one request per tenant",
               file=sys.stderr)
-        return 2
+        raise SystemExit(2)
 
     heavy_idx = ShardedIndex(coords, args.shards) if args.shards > 0 \
         else KDTree(coords)
-    light_idx = KDTree(coords)
+    fe = Frontend(
+        max_batch=args.max_batch,
+        queue_depth=args.queue_depth,
+        degrade_at=args.degrade_at,
+    )
+    fe.register_tenant("heavy", heavy_idx, weight=1.0)
+    fe.register_tenant("light", KDTree(coords), weight=args.light_weight)
+    loads = [
+        TenantLoad(
+            "heavy",
+            zipf_trace(coords, heavy_n, kinds=("knn",), k=args.k,
+                       s=args.zipf_s, seed=args.seed),
+            rate=args.heavy_rate, pattern=args.pattern,
+            seed=args.seed + 1,
+        ),
+        TenantLoad(
+            "light",
+            zipf_trace(coords, light_n, kinds=("knn", "ball"), k=args.k,
+                       s=args.zipf_s, seed=args.seed + 2),
+            rate=args.light_rate, pattern="poisson", seed=args.seed + 3,
+        ),
+    ]
+    return fe, loads, heavy_idx
+
+
+def cmd_load_bench(args) -> int:
+    import asyncio
+
+    from .frontend.load import run_open_loop, verify_degraded
+
+    pts = _load(args.input)
+    coords = pts.coords
+    fe, loads, heavy_idx = _build_load(args, coords)
 
     async def run():
-        fe = Frontend(
-            max_batch=args.max_batch,
-            queue_depth=args.queue_depth,
-            degrade_at=args.degrade_at,
-        )
-        fe.register_tenant("heavy", heavy_idx, weight=1.0)
-        fe.register_tenant("light", light_idx, weight=args.light_weight)
-        loads = [
-            TenantLoad(
-                "heavy",
-                zipf_trace(coords, heavy_n, kinds=("knn",), k=args.k,
-                           s=args.zipf_s, seed=args.seed),
-                rate=args.heavy_rate, pattern=args.pattern,
-                seed=args.seed + 1,
-            ),
-            TenantLoad(
-                "light",
-                zipf_trace(coords, light_n, kinds=("knn", "ball"), k=args.k,
-                           s=args.zipf_s, seed=args.seed + 2),
-                rate=args.light_rate, pattern="poisson", seed=args.seed + 3,
-            ),
-        ]
         try:
             return await run_open_loop(fe, loads)
         finally:
             await fe.close()
 
-    report = asyncio.run(run())
+    rec = None
+    if args.trace_out:
+        # span bundles only exist with a recorder installed; the flight
+        # recorder attaches each retained request's batch subtree
+        from .obs.span import SpanRecorder, disable_tracing, enable_tracing
+
+        rec = SpanRecorder()
+        enable_tracing(rec)
+    try:
+        report = asyncio.run(run())
+    finally:
+        if rec is not None:
+            disable_tracing()
     print(f"load-bench: {len(coords)} points, "
           f"{'ShardedIndex[%d]' % args.shards if args.shards > 0 else 'KDTree'} "
           f"heavy tenant, {args.pattern} arrivals at "
@@ -380,6 +399,52 @@ def cmd_load_bench(args) -> int:
     if args.json_out:
         report.save(args.json_out)
         print(f"wrote {args.json_out}")
+    if args.trace_out:
+        from .obs.rtrace import validate_request_trace, write_flight_trace
+
+        retained = fe.flight.retained() if fe.flight is not None else []
+        problems = [
+            (t.trace_id, p)
+            for t in retained for p in validate_request_trace(t)
+        ]
+        obj = write_flight_trace(args.trace_out, retained,
+                                 name="repro load-bench")
+        print(f"wrote {len(retained)} retained request traces "
+              f"({obj['otherData']['spans']} spans) to {args.trace_out} "
+              f"-- load in https://ui.perfetto.dev")
+        if problems:
+            for tid, p in problems[:10]:
+                print(f"invalid trace {tid}: {p}", file=sys.stderr)
+            print(f"error: {len(problems)} validation problem(s) in "
+                  f"retained traces", file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_dash(args) -> int:
+    import asyncio
+
+    from .frontend.load import run_open_loop
+    from .obs.dash import render
+
+    pts = _load(args.input)
+    fe, loads, _ = _build_load(args, pts.coords)
+    clear = "" if args.no_clear else "\x1b[2J\x1b[H"
+
+    async def run():
+        task = asyncio.ensure_future(run_open_loop(fe, loads))
+        try:
+            while not task.done():
+                print(clear + render(fe), flush=True)
+                await asyncio.sleep(args.interval)
+            report = await task
+            print(clear + render(fe), flush=True)
+            print()
+            print(report.summary())
+        finally:
+            await fe.close()
+
+    asyncio.run(run())
     return 0
 
 
@@ -421,6 +486,34 @@ def cmd_profile(args) -> int:
           f"({len(spans)} spans{dropped}) to {args.trace_out} "
           f"-- load in https://ui.perfetto.dev")
     return rc
+
+
+def _add_load_args(sp) -> None:
+    """Arguments shaping the shared two-tenant open-loop load."""
+    sp.add_argument("input", help="point file both tenants query")
+    sp.add_argument("--seconds", type=float, default=5.0,
+                    help="offered-load duration per tenant (default 5)")
+    sp.add_argument("--heavy-rate", type=float, default=5000.0,
+                    help="heavy tenant arrival rate, req/s (default 5000)")
+    sp.add_argument("--light-rate", type=float, default=200.0,
+                    help="light tenant arrival rate, req/s (default 200)")
+    sp.add_argument("--light-weight", type=float, default=4.0,
+                    help="fair-dispatch weight of the light tenant")
+    sp.add_argument("--pattern", choices=("poisson", "bursty"),
+                    default="poisson", help="heavy tenant arrival process")
+    sp.add_argument("--zipf-s", type=float, default=1.2,
+                    help="Zipf exponent of the hot-spot skew")
+    sp.add_argument("-k", type=int, default=8, help="k for kNN requests")
+    sp.add_argument("--shards", type=int, default=16, metavar="N",
+                    help="heavy tenant's shard count (0 = plain KDTree, "
+                    "which disables graceful degradation)")
+    sp.add_argument("--queue-depth", type=int, default=512,
+                    help="per-tenant queue bound / reject threshold")
+    sp.add_argument("--degrade-at", type=int, default=None,
+                    help="total depth that triggers approximate answers "
+                    "(default: queue-depth / 2)")
+    sp.add_argument("--max-batch", type=int, default=256)
+    sp.add_argument("--seed", type=int, default=0)
 
 
 def _add_backend_arg(sp) -> None:
@@ -562,33 +655,28 @@ def build_parser() -> argparse.ArgumentParser:
         "traces; report per-tenant p50/p99/p999 latency, rejection rate, "
         "degraded-answer counts, and saturation throughput.",
     )
-    lb.add_argument("input", help="point file both tenants query")
-    lb.add_argument("--seconds", type=float, default=5.0,
-                    help="offered-load duration per tenant (default 5)")
-    lb.add_argument("--heavy-rate", type=float, default=5000.0,
-                    help="heavy tenant arrival rate, req/s (default 5000)")
-    lb.add_argument("--light-rate", type=float, default=200.0,
-                    help="light tenant arrival rate, req/s (default 200)")
-    lb.add_argument("--light-weight", type=float, default=4.0,
-                    help="fair-dispatch weight of the light tenant")
-    lb.add_argument("--pattern", choices=("poisson", "bursty"),
-                    default="poisson", help="heavy tenant arrival process")
-    lb.add_argument("--zipf-s", type=float, default=1.2,
-                    help="Zipf exponent of the hot-spot skew")
-    lb.add_argument("-k", type=int, default=8, help="k for kNN requests")
-    lb.add_argument("--shards", type=int, default=16, metavar="N",
-                    help="heavy tenant's shard count (0 = plain KDTree, "
-                    "which disables graceful degradation)")
-    lb.add_argument("--queue-depth", type=int, default=512,
-                    help="per-tenant queue bound / reject threshold")
-    lb.add_argument("--degrade-at", type=int, default=None,
-                    help="total depth that triggers approximate answers "
-                    "(default: queue-depth / 2)")
-    lb.add_argument("--max-batch", type=int, default=256)
-    lb.add_argument("--seed", type=int, default=0)
+    _add_load_args(lb)
     lb.add_argument("--json-out", metavar="PATH",
                     help="write the full load report as JSON")
+    lb.add_argument("--trace-out", metavar="PATH",
+                    help="dump the flight recorder's retained request "
+                    "traces (validated) as a Perfetto-loadable timeline")
     lb.set_defaults(fn=cmd_load_bench)
+
+    da = sub.add_parser(
+        "dash",
+        help="live text dashboard over a synthetic open-loop load",
+        description="Drive the same two-tenant open-loop load as "
+        "load-bench while redrawing a live dashboard: per-tenant "
+        "queues, SLO burn rates, flight-recorder retention, and the "
+        "slowest retained requests decomposed into phases.",
+    )
+    _add_load_args(da)
+    da.add_argument("--interval", type=float, default=0.5,
+                    help="seconds between dashboard redraws (default 0.5)")
+    da.add_argument("--no-clear", action="store_true",
+                    help="append frames instead of clearing the screen")
+    da.set_defaults(fn=cmd_dash)
 
     pr = sub.add_parser(
         "profile",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.rtrace import current_trace_ids
 from ..obs.span import span
 from ..parlay.scheduler import get_scheduler
 from ..parlay.workdepth import charge
@@ -89,6 +90,10 @@ def scatter(
     active = np.flatnonzero(mask.any(axis=0))
     slabs = [np.flatnonzero(mask[:, s]) for s in active]
     sched = get_scheduler()
+    # the serve-layer batch executing on this thread, if any: shard and
+    # worker spans are tagged with its member trace ids so one exported
+    # timeline names the requests each lane computed for
+    trace_ids = current_trace_ids()
 
     if remote is not None and sched.backend == "processes":
         tasks = [(int(s), remote(int(s), q)) for s, q in zip(active, slabs)]
@@ -97,8 +102,9 @@ def scatter(
 
     def make(s: int, qidx: np.ndarray):
         def thunk():
+            kw = {"trace_ids": trace_ids} if trace_ids else {}
             with span(f"cluster.{label}.shard", cat="cluster",
-                      shard=int(s), batch=len(qidx)):
+                      shard=int(s), batch=len(qidx), **kw):
                 return run_slab(int(s), qidx)
 
         return thunk

@@ -60,6 +60,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs.registry import MetricsRegistry
+from ..obs.rtrace import (
+    PHASES,
+    FlightRecorder,
+    RequestTrace,
+    make_context,
+)
+from ..obs.slo import Objective, SLOTracker
 from ..serve.service import KINDS, GeometryService
 from .admission import DEGRADED, NORMAL, OVERLOADED, AdmissionController
 from .dispatch import TokenBucket, WeightedFairScheduler
@@ -93,18 +100,23 @@ class Reply:
     kind: str
     queue_wait: float = 0.0
     cache_hit: bool = False
+    trace_id: str | None = None          #: request-tracing id (rtrace on)
+    phases: dict | None = None           #: phase breakdown, sums to latency
 
 
 class _Request:
-    __slots__ = ("kind", "payload", "kw", "future", "enqueued_at", "degraded")
+    __slots__ = ("kind", "payload", "kw", "future", "enqueued_at", "degraded",
+                 "ctx")
 
-    def __init__(self, kind, payload, kw, future, enqueued_at, degraded):
+    def __init__(self, kind, payload, kw, future, enqueued_at, degraded,
+                 ctx=None):
         self.kind = kind
         self.payload = payload
         self.kw = kw
         self.future = future
         self.enqueued_at = enqueued_at
         self.degraded = degraded
+        self.ctx = ctx
 
 
 @dataclass
@@ -116,6 +128,16 @@ class _Tenant:
     max_depth: int
     degradable: bool
     queue: deque = field(default_factory=deque)
+    # per-tenant metric children resolved once at registration, so the
+    # per-request path skips the family lock + label-tuple resolution
+    m_requests: object = None
+    m_completed: object = None
+    m_hits: object = None
+    m_degraded: object = None
+    m_rejected: object = None
+    m_quota: object = None
+    m_latency: object = None
+    m_phase: dict | None = None
 
 
 class Frontend:
@@ -143,6 +165,22 @@ class Frontend:
         scrape covers both layers).
     clock:
         Injectable monotonic clock (tests drive quotas deterministically).
+    rtrace:
+        Request tracing: mint a :class:`~repro.obs.rtrace.RequestContext`
+        per request, decompose every answer into phases (queue_wait /
+        dispatch / compute / merge / cache — they sum to the measured
+        latency), feed the always-on tail-sampling flight recorder and
+        the per-tenant SLO tracker, and publish phase histograms with
+        exemplar trace ids.  On by default; ``rtrace=False`` is the
+        zero-overhead baseline the ``BENCH_rtrace.json`` gate compares
+        against.
+    flight / slo:
+        Inject a pre-built :class:`~repro.obs.rtrace.FlightRecorder` /
+        :class:`~repro.obs.slo.SLOTracker` (tests use tiny capacities
+        and fake clocks); defaults are created when ``rtrace`` is on.
+    flight_capacity / tail_frac:
+        Flight-recorder ring size and the retained latency tail
+        fraction (0.10 = slowest decile) for the default recorder.
     """
 
     def __init__(
@@ -156,6 +194,11 @@ class Frontend:
         resume_frac: float = 0.5,
         registry: MetricsRegistry | None = None,
         clock=time.monotonic,
+        rtrace: bool = True,
+        flight: FlightRecorder | None = None,
+        slo: SLOTracker | None = None,
+        flight_capacity: int = 512,
+        tail_frac: float = 0.10,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -222,6 +265,29 @@ class Frontend:
             labels=("tenant",),
         )
 
+        # request tracing: flight recorder + SLOs + phase histograms
+        self._rtrace = bool(rtrace) or flight is not None or slo is not None
+        self.flight: FlightRecorder | None = None
+        self.slo: SLOTracker | None = None
+        self._h_latency = self._h_phase = None
+        if self._rtrace:
+            self.flight = flight if flight is not None else FlightRecorder(
+                capacity=flight_capacity, tail_frac=tail_frac, registry=reg
+            )
+            self.slo = slo if slo is not None else SLOTracker(
+                clock=clock, registry=reg
+            )
+            self._h_latency = reg.histogram(
+                "frontend_latency_seconds",
+                "end-to-end request latency per tenant",
+                labels=("tenant",),
+            )
+            self._h_phase = reg.histogram(
+                "frontend_phase_seconds",
+                "per-request phase breakdown (phases sum to latency)",
+                labels=("tenant", "phase"),
+            )
+
         # the admission controller reads the same gauge the registry
         # exports, so the decision input and the metric cannot diverge
         self.admission = AdmissionController(
@@ -252,13 +318,16 @@ class Frontend:
         rate: float | None = None,
         burst: float | None = None,
         max_depth: int | None = None,
+        slo: Objective | None = None,
     ) -> None:
         """Register a tenant owning ``index`` under ``name``.
 
         ``weight`` is the fair-dispatch share; ``rate``/``burst`` the
         token-bucket quota in requests/second (None = unlimited);
         ``max_depth`` a per-tenant queue bound (defaults to the
-        front-end's ``queue_depth``).
+        front-end's ``queue_depth``); ``slo`` the tenant's
+        latency/availability :class:`~repro.obs.slo.Objective` (a
+        default objective is registered when request tracing is on).
         """
         if self._closed or self._closing:
             raise ServiceClosed("frontend is closed")
@@ -273,12 +342,23 @@ class Frontend:
             max_depth=int(max_depth) if max_depth is not None else self.queue_depth,
             degradable=hasattr(index, "knn_home"),
         )
+        t.m_requests = self._c_requests.labels(name)
+        t.m_completed = self._c_completed.labels(name)
+        t.m_hits = self._c_hits.labels(name)
+        t.m_degraded = self._c_degraded.labels(name)
+        t.m_rejected = self._c_rejected.labels(name)
+        t.m_quota = self._c_quota.labels(name)
+        if self._h_latency is not None:
+            t.m_latency = self._h_latency.labels(name)
+            t.m_phase = {p: self._h_phase.labels(name, p) for p in PHASES}
         self._tenants[name] = t
         self._sched.add(name, weight)
         self._g_depth.labels(name).set_function(lambda t=t: len(t.queue))
         self._g_hit_rate.labels(name).set_function(
             lambda n=name: self._hit_rate(n)
         )
+        if self.slo is not None:
+            self.slo.set_objective(name, slo)
 
     def _fair_share(self, t: _Tenant) -> float:
         """``t``'s weight-proportional share of the global queue budget."""
@@ -335,19 +415,105 @@ class Frontend:
     # ------------------------------------------------------------------
     # admission + enqueue
     # ------------------------------------------------------------------
+    def _record_dropped(self, ctx, outcome: str, error=None) -> None:
+        """Flight-record + SLO-score a request that never got an answer."""
+        if ctx is None or self.flight is None:
+            return
+        latency = self._clock() - ctx.t_start
+        phases = {"queue_wait": latency} if outcome in ("shed", "timeout") else {}
+        self.flight.observe(RequestTrace(
+            trace_id=ctx.trace_id, tenant=ctx.tenant, kind=ctx.kind,
+            t_start=ctx.t_start, latency=latency,
+            phases=phases, outcome=outcome,
+            error=repr(error) if error is not None else None,
+        ))
+        if self.slo is not None:
+            self.slo.record(ctx.tenant, latency=None)
+
+    @staticmethod
+    def _phase_split(latency, queue_wait, compute, merge, cache) -> dict:
+        """Close the phase decomposition so it sums to ``latency``.
+
+        The attributed phases (compute / merge / cache) are scaled down
+        if they overrun the post-queue window (clock skew between the
+        serve-side walls and the end-to-end latency); ``dispatch`` is
+        the non-negative residual, so the five phases always sum to the
+        measured latency (within a float ulp of the subtraction).
+        """
+        avail = max(latency - queue_wait, 0.0)
+        heavy = compute + merge + cache
+        if heavy > avail:
+            s = avail / heavy if heavy > 0 else 0.0
+            compute, merge, cache = compute * s, merge * s, cache * s
+        dispatch = max(latency - queue_wait - compute - merge - cache, 0.0)
+        return {"queue_wait": queue_wait, "dispatch": dispatch,
+                "compute": compute, "merge": merge, "cache": cache}
+
+    def _observe_ok(self, t, r, t0, *, m=None, hit=False, approximate=False,
+                    compute=None):
+        """Phase-decompose and record one *answered* request.
+
+        Returns ``(trace_id, phases)`` for the Reply, or ``(None,
+        None)`` with request tracing off.  ``compute`` overrides the
+        attributed compute seconds (the degraded path passes its own
+        group wall share); otherwise it is the request's exact work
+        share of the batch (``m.work / m.batch_work``) applied to the
+        batch's execution wall.
+        """
+        if r.ctx is None or self.flight is None:
+            return None, None
+        ctx = r.ctx
+        latency = self._clock() - ctx.t_start
+        qw = min(max(t0 - r.enqueued_at, 0.0), latency)
+        cache = merge = 0.0
+        if compute is None:
+            if hit or m is None:
+                compute = 0.0
+                cache = max(latency - qw, 0.0) if hit else 0.0
+            else:
+                frac = (m.work / m.batch_work if m.batch_work > 0
+                        else (1.0 / m.batch_size if m.batch_size else 0.0))
+                compute = frac * m.exec_wall
+                merge = m.merge_wall
+        phases = self._phase_split(latency, qw, compute, merge, cache)
+        trt = RequestTrace(
+            trace_id=ctx.trace_id, tenant=ctx.tenant, kind=ctx.kind,
+            t_start=ctx.t_start, latency=latency, phases=phases,
+            outcome="ok", cache_hit=hit, approximate=approximate,
+            batch_size=(m.batch_size if m else 0),
+            work=(m.work if m else 0.0), depth=(m.depth if m else 0.0),
+            batch_sid=(m.batch_sid if m else None),
+        )
+        reason = self.flight.observe(
+            trt, spans=(m.bundle if m is not None else None)
+        )
+        # exemplars only for retained traces, so every exemplar in the
+        # exposition resolves to a trace the flight recorder can replay
+        ex = {"trace_id": ctx.trace_id} if reason else None
+        t.m_latency.observe(latency, exemplar=ex)
+        m_phase = t.m_phase
+        for p in PHASES:
+            m_phase[p].observe(phases[p], exemplar=ex)
+        if self.slo is not None:
+            self.slo.record(t.name, latency=latency)
+        return ctx.trace_id, phases
+
     async def _submit(self, tenant, kind, payload, kw, timeout) -> Reply:
         if self._closed or self._closing:
             raise ServiceClosed("frontend is closed")
         t = self._tenants.get(tenant)
         if t is None:
             raise UnknownTenant(tenant)
-        self._c_requests.labels(tenant).inc()
+        t.m_requests.inc()
+        ctx = (make_context(tenant, kind, clock=self._clock)
+               if self._rtrace else None)
 
         # per-tenant quota: all-or-nothing token take, exact retry-after
         wait = t.bucket.try_acquire()
         if wait > 0.0:
-            self._c_quota.labels(tenant).inc()
-            self._c_rejected.labels(tenant).inc()
+            t.m_quota.inc()
+            t.m_rejected.inc()
+            self._record_dropped(ctx, "shed")
             raise QuotaExceeded(tenant, wait)
 
         # depth-driven admission state machine.  In OVERLOADED only the
@@ -358,12 +524,14 @@ class Frontend:
         decision = self.admission.decide()
         self._g_state.set(_STATE_CODE[decision.state])
         if not decision.admit and len(t.queue) >= self._fair_share(t):
-            self._c_rejected.labels(tenant).inc()
+            t.m_rejected.inc()
+            self._record_dropped(ctx, "shed")
             raise Overloaded(
                 decision.depth, self.admission.reject_at, decision.retry_after
             )
         if len(t.queue) >= t.max_depth:
-            self._c_rejected.labels(tenant).inc()
+            t.m_rejected.inc()
+            self._record_dropped(ctx, "shed")
             raise Overloaded(
                 len(t.queue), t.max_depth, decision.retry_after
                 or self.admission._retry_after(len(t.queue))
@@ -372,7 +540,7 @@ class Frontend:
 
         loop = asyncio.get_running_loop()
         req = _Request(kind, payload, kw, loop.create_future(),
-                       self._clock(), degraded)
+                       self._clock(), degraded, ctx)
         t.queue.append(req)
         self._sched.arrive(tenant)
         self._ensure_dispatcher(loop)
@@ -383,6 +551,7 @@ class Frontend:
         try:
             return await asyncio.wait_for(req.future, timeout)
         except asyncio.TimeoutError:
+            self._record_dropped(ctx, "timeout")
             raise RequestTimeout(timeout) from None
 
     # ------------------------------------------------------------------
@@ -455,25 +624,31 @@ class Frontend:
             try:
                 tickets.append(
                     (r, self._service.submit(t.name, r.kind, r.payload,
-                                             timeout=None, **r.kw))
+                                             timeout=None, ctx=r.ctx, **r.kw))
                 )
             except Exception as exc:
                 out[id(r)] = (False, exc)
+                self._record_dropped(r.ctx, "error", error=exc)
         if tickets:
             self._service.flush(t.name)
         for r, tk in tickets:
             try:
                 value = tk.result(0)
-                hit = bool(tk.metrics.cache_hit) if tk.metrics else False
-                if hit:
-                    self._c_hits.labels(t.name).inc()
-                self._c_completed.labels(t.name).inc()
-                out[id(r)] = (True, Reply(
-                    value=value, approximate=False, tenant=t.name,
-                    kind=r.kind, queue_wait=t0 - r.enqueued_at, cache_hit=hit,
-                ))
             except Exception as exc:
                 out[id(r)] = (False, exc)
+                self._record_dropped(r.ctx, "error", error=exc)
+                continue
+            m = tk.metrics
+            hit = bool(m.cache_hit) if m else False
+            if hit:
+                t.m_hits.inc()
+            t.m_completed.inc()
+            trace_id, phases = self._observe_ok(t, r, t0, m=m, hit=hit)
+            out[id(r)] = (True, Reply(
+                value=value, approximate=False, tenant=t.name,
+                kind=r.kind, queue_wait=t0 - r.enqueued_at, cache_hit=hit,
+                trace_id=trace_id, phases=phases,
+            ))
 
         if degraded:
             groups: dict[tuple, list[_Request]] = {}
@@ -482,6 +657,7 @@ class Frontend:
                     (r.kw["k"], r.kw.get("exclude_self", False)), []
                 ).append(r)
             for (k, excl), reqs in groups.items():
+                t_g0 = self._clock()
                 try:
                     qs = np.ascontiguousarray(
                         [np.asarray(r.payload, dtype=np.float64) for r in reqs]
@@ -490,14 +666,20 @@ class Frontend:
                 except Exception as exc:
                     for r in reqs:
                         out[id(r)] = (False, exc)
+                        self._record_dropped(r.ctx, "error", error=exc)
                     continue
+                group_share = (self._clock() - t_g0) / len(reqs)
                 for i, r in enumerate(reqs):
-                    self._c_degraded.labels(t.name).inc()
-                    self._c_completed.labels(t.name).inc()
+                    t.m_degraded.inc()
+                    t.m_completed.inc()
+                    trace_id, phases = self._observe_ok(
+                        t, r, t0, approximate=True, compute=group_share
+                    )
                     out[id(r)] = (True, Reply(
                         value=(d2[i], gid[i]), approximate=True,
                         tenant=t.name, kind="knn",
                         queue_wait=t0 - r.enqueued_at,
+                        trace_id=trace_id, phases=phases,
                     ))
         return [out[id(r)] for r in batch]
 
@@ -571,6 +753,10 @@ class Frontend:
             "drain_rate": self.admission.drain_rate,
             "per_tenant": {},
         }
+        if self.flight is not None:
+            out["flight"] = self.flight.snapshot()
+        if self.slo is not None:
+            out["slo"] = self.slo.snapshot()
         for name in self._tenants:
             out["per_tenant"][name] = {
                 "queue_depth": self.pending(name),

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.rtrace import PHASES, percentile
 from ..serve.errors import Overloaded, RequestTimeout, ServiceClosed
 from ..serve.trace import open_loop_arrivals
 from .errors import QuotaExceeded
@@ -47,13 +48,6 @@ __all__ = [
     "run_open_loop",
     "verify_degraded",
 ]
-
-
-def percentile(latencies, q: float) -> float:
-    """The ``q``-th percentile (0-100) of a latency sample, 0.0 if empty."""
-    if len(latencies) == 0:
-        return 0.0
-    return float(np.percentile(np.asarray(latencies, dtype=np.float64), q))
 
 
 @dataclass
@@ -89,6 +83,11 @@ class TenantReport:
     mean: float = 0.0
     max: float = 0.0
     throughput: float = 0.0
+    #: per-phase latency decomposition (seconds): phase -> {mean, p50, p99}.
+    #: Populated only when the front-end runs with request tracing on —
+    #: each completed Reply carries its exact phase split (queue_wait /
+    #: dispatch / compute / merge / cache sum to the request's latency).
+    phases: dict = field(default_factory=dict)
 
     @property
     def rejection_rate(self) -> float:
@@ -102,6 +101,8 @@ class TenantReport:
             "p50", "p99", "p999", "mean", "max", "throughput",
         )}
         out["rejection_rate"] = self.rejection_rate
+        if self.phases:
+            out["phases"] = self.phases
         return out
 
 
@@ -165,6 +166,12 @@ class LoadReport:
                 f"  p50 {t.p50 * 1e3:7.2f}ms  p99 {t.p99 * 1e3:7.2f}ms"
                 f"  p999 {t.p999 * 1e3:7.2f}ms"
             )
+            if t.phases:
+                parts = "  ".join(
+                    f"{ph} {stats['mean'] * 1e3:.2f}ms"
+                    for ph, stats in t.phases.items()
+                )
+                lines.append(f"  {'':>10s}  phase means: {parts}")
         return "\n".join(lines)
 
     def save(self, path: str) -> None:
@@ -179,6 +186,7 @@ class _Recorder:
     def __init__(self, tenant: str):
         self.tenant = tenant
         self.latencies: list[float] = []
+        self.phases: dict[str, list[float]] = {}
         self.rep = TenantReport(tenant)
 
 
@@ -221,6 +229,9 @@ async def _issue(frontend, load: TenantLoad, op: dict, rec: _Recorder,
         return
     rec.latencies.append(clock() - t0)
     rec.rep.completed += 1
+    if reply.phases:
+        for ph, v in reply.phases.items():
+            rec.phases.setdefault(ph, []).append(v)
     if reply.cache_hit:
         rec.rep.cache_hits += 1
     if reply.approximate:
@@ -299,6 +310,15 @@ async def run_open_loop(
             rep.mean = float(np.mean(lats))
             rep.max = float(np.max(lats))
         rep.throughput = rep.completed / duration if duration > 0 else 0.0
+        rep.phases = {
+            ph: {
+                "mean": float(np.mean(vals)),
+                "p50": percentile(vals, 50.0),
+                "p99": percentile(vals, 99.0),
+            }
+            for ph in PHASES
+            if (vals := rec.phases.get(ph))
+        }
         per_tenant[name] = rep
     return LoadReport(
         duration=duration,

@@ -688,7 +688,7 @@ def _range_ball_results(index, centers: np.ndarray, radii: np.ndarray) -> list[n
     return index.range_query_ball_batch(centers, radii)
 
 
-def execute_requests(index, requests) -> list:
+def execute_requests(index, requests, costs_out: list | None = None) -> list:
     """Execute a *heterogeneous* batch of single-query requests.
 
     ``requests`` is a sequence of ``(kind, payload, params)`` where
@@ -712,6 +712,18 @@ def execute_requests(index, requests) -> list:
     ``index`` is a :class:`KDTree` or a BDL-style index exposing
     ``knn`` / ``range_query_box_batch`` / ``range_query_ball_batch``;
     ids are global (``gids``) in either case.
+
+    When ``costs_out`` is a list it is filled with one per-request
+    *work weight* aligned to ``requests``: each group's execution is
+    captured separately and its charged work divides evenly across the
+    group's members (the engine runs a group as one vectorized shot, so
+    within-group per-item work is not individually observable).  The
+    weights are attribution inputs — see
+    :func:`repro.obs.rtrace.partition_work` — and sum to the total work
+    the batch charged, up to float re-association from the per-group
+    capture.  Charge *composition* is unchanged: captures absorb
+    serially into the enclosing frame, the same composition the
+    uncaptured path records.
     """
     results: list = [None] * len(requests)
     groups: dict[tuple, list[int]] = {}
@@ -723,43 +735,61 @@ def execute_requests(index, requests) -> list:
             order.append(key)
         groups[key].append(i)
 
+    if costs_out is not None:
+        from ..parlay.workdepth import capture as _capture
+
+        del costs_out[:]
+        costs_out.extend([0.0] * len(requests))
+
     for key in order:
         kind, params = key[0], dict(key[1])
         idxs = groups[key]
-        if kind == "knn":
-            qs = np.stack([np.asarray(requests[i][1], dtype=np.float64) for i in idxs])
-            d, g = index.knn(
-                qs,
-                params["k"],
-                exclude_self=params.get("exclude_self", False),
-                engine="batched",
-            )
-            for r, i in enumerate(idxs):
-                results[i] = (d[r].copy(), g[r].copy())
-        elif kind == "box":
-            boxes = np.stack(
-                [np.asarray(requests[i][1], dtype=np.float64) for i in idxs]
-            )
-            hits = _range_box_results(index, boxes[:, 0, :], boxes[:, 1, :])
-            for r, i in enumerate(idxs):
-                results[i] = hits[r]
-        elif kind == "ball":
-            centers = np.stack(
-                [np.asarray(requests[i][1][0], dtype=np.float64) for i in idxs]
-            )
-            radii = np.array([float(requests[i][1][1]) for i in idxs])
-            hits = _range_ball_results(index, centers, radii)
-            for r, i in enumerate(idxs):
-                results[i] = hits[r]
-        elif kind == "allnn":
-            if not isinstance(index, KDTree):
-                raise ValueError("allnn requests require a static KDTree dataset")
-            shared = batched_allnn_on_tree(index)
+        if costs_out is not None:
+            with _capture() as _group_cost:
+                _run_group(index, requests, results, kind, params, idxs)
+            per_member = _group_cost.work / len(idxs)
             for i in idxs:
-                results[i] = shared
+                costs_out[i] = per_member
         else:
-            raise ValueError(f"unknown request kind {kind!r}")
+            _run_group(index, requests, results, kind, params, idxs)
     return results
+
+
+def _run_group(index, requests, results, kind, params, idxs) -> None:
+    """One (kind, params) group as a single vectorized dispatch."""
+    if kind == "knn":
+        qs = np.stack([np.asarray(requests[i][1], dtype=np.float64) for i in idxs])
+        d, g = index.knn(
+            qs,
+            params["k"],
+            exclude_self=params.get("exclude_self", False),
+            engine="batched",
+        )
+        for r, i in enumerate(idxs):
+            results[i] = (d[r].copy(), g[r].copy())
+    elif kind == "box":
+        boxes = np.stack(
+            [np.asarray(requests[i][1], dtype=np.float64) for i in idxs]
+        )
+        hits = _range_box_results(index, boxes[:, 0, :], boxes[:, 1, :])
+        for r, i in enumerate(idxs):
+            results[i] = hits[r]
+    elif kind == "ball":
+        centers = np.stack(
+            [np.asarray(requests[i][1][0], dtype=np.float64) for i in idxs]
+        )
+        radii = np.array([float(requests[i][1][1]) for i in idxs])
+        hits = _range_ball_results(index, centers, radii)
+        for r, i in enumerate(idxs):
+            results[i] = hits[r]
+    elif kind == "allnn":
+        if not isinstance(index, KDTree):
+            raise ValueError("allnn requests require a static KDTree dataset")
+        shared = batched_allnn_on_tree(index)
+        for i in idxs:
+            results[i] = shared
+    else:
+        raise ValueError(f"unknown request kind {kind!r}")
 
 
 def _emit_leaf_ball(tree, cs, r2, rows, nodes, hq, hp, qwork, qdepth) -> None:

@@ -12,7 +12,17 @@ Three pieces (see DESIGN.md §5):
   worker lanes under Brent's bound) and a flame-style text summary.
 * **Metrics registry** (:mod:`repro.obs.registry`): counters / gauges /
   histograms with one consistent ``snapshot()`` dict and Prometheus
-  text exposition; the serving layer's stats live on it.
+  text exposition (crash-proof: raising callable gauges are skipped and
+  counted, histogram buckets may carry exemplar trace ids); the serving
+  layer's stats live on it.
+* **Request tracing** (:mod:`repro.obs.rtrace`): per-request contexts
+  threaded through the serving stack, exact proportional attribution of
+  coalesced-batch work (:func:`partition_work`), a tail-sampling
+  :class:`FlightRecorder`, and a Perfetto export of retained requests
+  (:func:`flight_chrome_trace`).
+* **SLOs** (:mod:`repro.obs.slo`): per-tenant latency + availability
+  objectives with multi-window (5m/1h) burn rates on an injectable
+  clock, published as registry gauges.
 
 Quickstart::
 
@@ -48,6 +58,24 @@ from .registry import (
     MetricsRegistry,
     default_registry,
 )
+from .rtrace import (
+    PHASES,
+    FlightRecorder,
+    RequestContext,
+    RequestTrace,
+    TailSampler,
+    batch_context,
+    batch_subtree,
+    current_trace_ids,
+    flight_chrome_trace,
+    make_context,
+    new_trace_id,
+    partition_work,
+    percentile,
+    validate_request_trace,
+    write_flight_trace,
+)
+from .slo import DEFAULT_WINDOWS, Objective, SLOTracker
 from .span import (
     Span,
     SpanRecorder,
@@ -61,17 +89,33 @@ from .span import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_WINDOWS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Objective",
+    "PHASES",
+    "RequestContext",
+    "RequestTrace",
+    "SLOTracker",
     "Span",
     "SpanRecorder",
+    "TailSampler",
     "active_recorder",
+    "batch_context",
+    "batch_subtree",
     "chrome_trace",
     "critical_path",
+    "current_trace_ids",
     "default_registry",
     "disable_tracing",
     "enable_tracing",
+    "flight_chrome_trace",
+    "make_context",
+    "new_trace_id",
+    "partition_work",
+    "percentile",
     "self_work",
     "simulate_schedule",
     "span",
@@ -82,5 +126,7 @@ __all__ = [
     "trace",
     "tracing_enabled",
     "validate_chrome_trace",
+    "validate_request_trace",
     "write_chrome_trace",
+    "write_flight_trace",
 ]

@@ -169,27 +169,54 @@ class Histogram(_Metric):
         self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
         self._sum = 0.0
         self._count = 0
+        # bucket index -> (labels dict, observed value): the most recent
+        # exemplar-carrying observation per bucket (OpenMetrics-style)
+        self._exemplars: dict[int, tuple[dict, float]] = {}
 
-    def observe(self, v: float) -> None:
+    def observe(self, v: float, exemplar: dict | None = None) -> None:
+        """Record ``v``; ``exemplar`` optionally attaches trace labels
+        (e.g. ``{"trace_id": ...}``) to the bucket ``v`` lands in, so the
+        exposition can link a latency bucket to a concrete retained
+        trace."""
         v = float(v)
         i = bisect.bisect_left(self.bounds, v)
         with self._lock:
             self._counts[i] += 1
             self._sum += v
             self._count += 1
+            if exemplar:
+                self._exemplars[i] = (dict(exemplar), v)
+
+    def exemplars(self) -> dict[int, tuple[dict, float]]:
+        """Bucket index -> (labels, value) of the latest exemplars."""
+        with self._lock:
+            return dict(self._exemplars)
 
     @property
     def value(self) -> dict:
-        """``{"count", "sum", "buckets": {le: cumulative}}`` (JSON-ready)."""
+        """``{"count", "sum", "buckets": {le: cumulative}}`` (JSON-ready).
+
+        An ``"exemplars"`` key (``{le: {labels, value}}``) is present
+        only when exemplars were observed, so histograms without them
+        snapshot exactly as before.
+        """
         with self._lock:
             counts = list(self._counts)
             total, s = self._count, self._sum
+            ex = dict(self._exemplars)
         out, cum = {}, 0
-        for b, c in zip(self.bounds, counts):
+        bound_strs = [_fmt(b) for b in self.bounds] + ["+Inf"]
+        for bs, c in zip(bound_strs[:-1], counts):
             cum += c
-            out[_fmt(b)] = cum
+            out[bs] = cum
         out["+Inf"] = total
-        return {"count": total, "sum": s, "buckets": out}
+        result = {"count": total, "sum": s, "buckets": out}
+        if ex:
+            result["exemplars"] = {
+                bound_strs[i]: {"labels": labels, "value": v}
+                for i, (labels, v) in sorted(ex.items())
+            }
+        return result
 
 
 class MetricFamily(_Metric):
@@ -263,11 +290,21 @@ class MetricFamily(_Metric):
 
 
 class MetricsRegistry:
-    """A named collection of metrics with one consistent snapshot."""
+    """A named collection of metrics with one consistent snapshot.
+
+    Exposition is **crash-proof**: a callable gauge whose function
+    raises never aborts a dump — the sample is skipped and counted in
+    ``obs_gauge_errors_total`` (rendered/snapshotted once any error has
+    occurred), so one bad gauge cannot take down the scrape endpoint.
+    """
+
+    GAUGE_ERRORS = "obs_gauge_errors_total"
+    _GAUGE_ERRORS_HELP = "callable gauges that raised during exposition"
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self._metrics: OrderedDict[str, _Metric] = OrderedDict()
+        self._gauge_errors = 0
 
     # -- registration ------------------------------------------------------
     def _get_or_make(self, cls, name: str, help: str, labels=(), **kw):
@@ -320,40 +357,116 @@ class MetricsRegistry:
             return len(self._metrics)
 
     # -- exposition --------------------------------------------------------
-    def snapshot(self) -> dict:
-        """Every metric's current value as one JSON-ready dict."""
+    def _note_gauge_error(self, n: int = 1) -> None:
         with self._lock:
-            return {name: m.value for name, m in self._metrics.items()}
+            self._gauge_errors += n
+
+    @property
+    def gauge_errors(self) -> int:
+        with self._lock:
+            return self._gauge_errors
+
+    def snapshot(self) -> dict:
+        """Every metric's current value as one JSON-ready dict.
+
+        Callable gauges that raise are skipped (family children
+        individually) and counted in ``obs_gauge_errors_total``.
+        """
+        with self._lock:
+            metrics = list(self._metrics.items())
+        out: dict = {}
+        errs = 0
+        for name, m in metrics:
+            if isinstance(m, MetricFamily):
+                fam: dict = {}
+                for values, child in m.children():
+                    try:
+                        fam[_label_str(m.label_names, values)] = child.value
+                    except Exception:
+                        errs += 1
+                out[name] = fam
+            else:
+                try:
+                    out[name] = m.value
+                except Exception:
+                    errs += 1
+        if errs:
+            self._note_gauge_error(errs)
+        if self.gauge_errors:
+            out[self.GAUGE_ERRORS] = float(self._gauge_errors)
+        return out
 
     @staticmethod
     def _render_samples(lines: list[str], m: _Metric, labelstr: str = "") -> None:
-        """Samples for one (possibly labelled) concrete metric."""
+        """Samples for one (possibly labelled) concrete metric.
+
+        Raises whatever a callable gauge raises — the caller decides how
+        to degrade (``render_prometheus`` skips and counts).
+        """
         if isinstance(m, Histogram):
             v = m.value
+            ex = v.get("exemplars", {})
             base = labelstr[1:-1] + "," if labelstr else ""
             for le, c in v["buckets"].items():
-                lines.append(f'{m.name}_bucket{{{base}le="{le}"}} {c}')
+                line = f'{m.name}_bucket{{{base}le="{le}"}} {c}'
+                if le in ex:
+                    pairs = ",".join(
+                        f'{k}="{_escape_label_value(str(x))}"'
+                        for k, x in ex[le]["labels"].items()
+                    )
+                    # OpenMetrics exemplar syntax: links the bucket to a
+                    # concrete trace retained by the flight recorder
+                    line += f" # {{{pairs}}} {_fmt(ex[le]['value'])}"
+                lines.append(line)
             lines.append(f"{m.name}_sum{labelstr} {_fmt(v['sum'])}")
             lines.append(f"{m.name}_count{labelstr} {v['count']}")
         else:
             lines.append(f"{m.name}{labelstr} {_fmt(m.value)}")
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition format of every metric."""
+        """Prometheus text exposition format of every metric.
+
+        HELP/TYPE is emitted exactly once per (possibly labelled)
+        family; a raising callable gauge skips only its own sample(s)
+        and is tallied in ``obs_gauge_errors_total``, which is appended
+        to the exposition once any error has ever occurred.
+        """
         lines: list[str] = []
+        emitted: set[str] = set()
+        errs = 0
         with self._lock:
             metrics = list(self._metrics.values())
         for m in metrics:
+            if m.name in emitted:
+                continue
+            emitted.add(m.name)
+            header = []
             if m.help:
-                lines.append(f"# HELP {m.name} {m.help}")
-            lines.append(f"# TYPE {m.name} {m.kind}")
+                header.append(f"# HELP {m.name} {m.help}")
+            header.append(f"# TYPE {m.name} {m.kind}")
+            samples: list[str] = []
             if isinstance(m, MetricFamily):
                 for values, child in m.children():
-                    self._render_samples(
-                        lines, child, _label_str(m.label_names, values)
-                    )
+                    try:
+                        self._render_samples(
+                            samples, child, _label_str(m.label_names, values)
+                        )
+                    except Exception:
+                        errs += 1
             else:
-                self._render_samples(lines, m)
+                try:
+                    self._render_samples(samples, m)
+                except Exception:
+                    errs += 1
+            lines.extend(header)
+            lines.extend(samples)
+        if errs:
+            self._note_gauge_error(errs)
+        total_errs = self.gauge_errors
+        if total_errs and self.GAUGE_ERRORS not in emitted:
+            lines.append(f"# HELP {self.GAUGE_ERRORS} {self._GAUGE_ERRORS_HELP}")
+            lines.append(f"# TYPE {self.GAUGE_ERRORS} counter")
+            lines.append(f"{self.GAUGE_ERRORS} {total_errs}")
         return "\n".join(lines) + "\n"
 
 

@@ -174,6 +174,22 @@ class SpanRecorder:
         with self._lock:
             return sorted(self._spans, key=lambda s: s.sid)
 
+    def mark(self) -> int:
+        """Position token for :meth:`spans_since` (completion order)."""
+        with self._lock:
+            return len(self._spans)
+
+    def spans_since(self, mark: int) -> list[Span]:
+        """Spans completed (or ingested) after ``mark`` was taken.
+
+        Completion order, not sid order; spans from other threads that
+        completed in the window are included — callers filtering to one
+        logical scope should walk the subtree from a known root (see
+        :func:`repro.obs.rtrace.batch_subtree`).
+        """
+        with self._lock:
+            return list(self._spans[mark:])
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._spans)

@@ -111,9 +111,16 @@ def _worker_main(widx: int, start_method: str, task_q, result_q) -> None:
                 # labelled like the thread backend's task frames, so the
                 # forwarded span tree looks the same across backends
                 label = "parlay.task" if recorder is not None else None
+                # request-trace ids of the serve batch this slab computes
+                # for (propagated by scheduler.process_map) tag the task
+                # span, so worker lanes name their requests
+                extra = (
+                    {"trace_ids": tuple(opts["trace_ids"])}
+                    if opts.get("trace_ids") else {}
+                )
                 with workdepth.tracker.frame(
                     label=label, cat="task", backend="processes",
-                    batch=opts.get("batch"),
+                    batch=opts.get("batch"), **extra,
                 ) as cost:
                     result = fn(payload)
             finally:
@@ -211,12 +218,15 @@ class ProcPool:
         *,
         trace: bool = False,
         workers_hint: int | None = None,
+        trace_ids: tuple[str, ...] | None = None,
     ) -> list[ProcResult]:
         """Run ``fn(payload)`` per task on its affinity worker; in order.
 
         ``tasks`` is ``[(affinity, payload), ...]``; task ``i`` runs on
         worker ``affinity % p``, so equal affinities always share a
-        worker (pinning).  Raises ``RuntimeError`` carrying the remote
+        worker (pinning).  ``trace_ids`` optionally names the serving
+        requests this batch computes for; workers tag their task spans
+        with them.  Raises ``RuntimeError`` carrying the remote
         traceback if any task fails, after draining the rest.
         """
         if not tasks:
@@ -227,6 +237,8 @@ class ProcPool:
             "workers": int(workers_hint or self.workers),
             "batch": len(tasks),
         }
+        if trace_ids:
+            opts["trace_ids"] = tuple(trace_ids)
         base = self._seq
         self._seq += len(tasks)
         for i, (affinity, payload) in enumerate(tasks):

@@ -66,7 +66,12 @@ class Ticket:
 
 @dataclass(eq=False)
 class PendingRequest:
-    """One queued request, normalized and ready to batch."""
+    """One queued request, normalized and ready to batch.
+
+    ``ctx`` is the optional :class:`~repro.obs.rtrace.RequestContext`
+    minted upstream (e.g. by the multi-tenant front-end); the dispatcher
+    links the coalesced batch span to every member context's trace id.
+    """
 
     dataset: str
     kind: str
@@ -76,6 +81,7 @@ class PendingRequest:
     ticket: Ticket
     enqueued_at: float
     deadline: float | None = None
+    ctx: object | None = None
 
     @property
     def group_key(self) -> tuple:

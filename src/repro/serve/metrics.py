@@ -36,9 +36,22 @@ class RequestMetrics:
     ``queue_wait`` is seconds spent between submission and dispatch (0
     for submit-time cache hits); ``batch_size`` is the number of unique
     queries executed in the dispatch this request joined (0 when no
-    execution was needed); ``work``/``depth`` are the request's share of
-    the batch's charged cost — work divides evenly across the batch,
-    depth is the batch's critical path (shared, not divided).
+    execution was needed); ``work`` is the request's *exact* share of
+    the batch's charged work — proportional to the work its request
+    group charged, partitioned with
+    :func:`repro.obs.rtrace.partition_work` so member shares sum to the
+    batch total exactly — and ``depth`` is the batch's critical path
+    (shared, not divided).
+
+    The trailing fields (defaulted, so positional construction is
+    unchanged) carry request-tracing detail: ``exec_wall`` is the wall
+    time of the batch's vectorized execution and ``merge_wall`` the
+    seconds between execution end and this request's resolution (cache
+    fills + result distribution); ``batch_work`` is the whole batch's
+    charged work (``work`` divided by it gives this request's compute
+    fraction); ``batch_sid``/``bundle`` link to the batch's
+    ``serve.dispatch`` span and its completed subtree when tracing was
+    enabled (the bundle list is *shared* by every member request).
     """
 
     queue_wait: float
@@ -46,6 +59,11 @@ class RequestMetrics:
     cache_hit: bool
     work: float
     depth: float
+    exec_wall: float = 0.0
+    merge_wall: float = 0.0
+    batch_work: float = 0.0
+    batch_sid: int | None = None
+    bundle: list | None = None
 
 
 class ServiceStats:

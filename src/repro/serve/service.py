@@ -54,6 +54,8 @@ import numpy as np
 
 from ..kdtree.batch import execute_requests
 from ..obs.registry import MetricsRegistry
+from ..obs.rtrace import batch_context, batch_subtree, partition_work
+from ..obs.span import active_recorder
 from ..parlay.workdepth import capture
 from .cache import MISS, ResultCache, make_key, query_digest
 from .coalescer import Coalescer, PendingRequest, Ticket
@@ -225,13 +227,16 @@ class GeometryService:
         radius: float | None = None,
         exclude_self: bool = False,
         timeout: float | None = _UNSET,
+        ctx=None,
     ) -> Ticket:
         """Enqueue one request; returns a :class:`Ticket` immediately.
 
         Raises :class:`Overloaded` when the pending queue is full,
         :class:`UnknownDataset` / :class:`ServiceClosed` / ``ValueError``
         on bad addressing.  A submit-time cache hit resolves the ticket
-        before returning (zero queue wait).
+        before returning (zero queue wait).  ``ctx`` optionally carries
+        the caller's :class:`~repro.obs.rtrace.RequestContext` so the
+        coalesced batch span links back to the request's trace id.
         """
         if timeout is _UNSET:
             timeout = self.default_timeout
@@ -266,6 +271,7 @@ class GeometryService:
             ticket=ticket,
             enqueued_at=now,
             deadline=now + timeout if timeout is not None else None,
+            ctx=ctx,
         )
         with self._cond:
             if self._closed:
@@ -390,32 +396,64 @@ class GeometryService:
         if not waiting:
             return len(hits)
 
+        trace_ids = tuple(
+            r.ctx.trace_id for r, _, _ in waiting if r.ctx is not None
+        )
+        attrs = {"links": trace_ids} if trace_ids else {}
+        rec = active_recorder()
+        mark = rec.mark() if rec is not None else 0
+        weights: list[float] = []
+        t_run0 = time.monotonic()
         try:
-            with capture(
-                label="serve.dispatch", cat="serve",
-                batch=len(uniq), dataset=name,
-            ) as cost:
-                results = execute_requests(
-                    index, [(r.kind, r.payload, dict(r.params)) for r in uniq]
-                )
+            with batch_context(trace_ids):
+                with capture(
+                    label="serve.dispatch", cat="serve",
+                    batch=len(uniq), dataset=name, **attrs,
+                ) as cost:
+                    results = execute_requests(
+                        index,
+                        [(r.kind, r.payload, dict(r.params)) for r in uniq],
+                        costs_out=weights,
+                    )
         except Exception as exc:  # typed service errors pass through tickets
             for r, _, _ in waiting:
                 r.ticket.reject(exc)
             return len(hits)
+        t_run1 = time.monotonic()
+        exec_wall = t_run1 - t_run0
+
+        batch_sid, bundle = (None, None)
+        if rec is not None:
+            batch_sid, subtree = batch_subtree(rec.spans_since(mark))
+            bundle = subtree or None
 
         nexec = len(uniq)
-        work_share = cost.work / nexec
+        # a unique slot's charged work divides across its duplicate
+        # riders, then the batch total is partitioned *exactly* across
+        # every waiting member proportional to those weights
+        mult = [0] * nexec
+        for _, ek, _ in waiting:
+            mult[slot[ek]] += 1
+        member_weights = [weights[slot[ek]] / mult[slot[ek]] for _, ek, _ in waiting]
+        shares = partition_work(cost.work, member_weights)
+
         version_after = getattr(index, "version", 0)
         cacheable = version_after == version
         total_wait = 0.0
-        for r, ek, ck in waiting:
+        for (r, ek, ck), share in zip(waiting, shares):
             res = results[slot[ek]]
             if cacheable:
                 self._cache.put(ck, res)
             wait = t_exec - r.enqueued_at
             total_wait += wait
+            merge_wall = time.monotonic() - t_run1
             r.ticket.resolve(
-                res, RequestMetrics(wait, nexec, False, work_share, cost.depth)
+                res,
+                RequestMetrics(
+                    wait, nexec, False, share, cost.depth,
+                    exec_wall=exec_wall, merge_wall=merge_wall,
+                    batch_work=cost.work, batch_sid=batch_sid, bundle=bundle,
+                ),
             )
         self.stats.record_batch(len(waiting), nexec, total_wait, cost.work, cost.depth)
         return len(hits) + len(waiting)
