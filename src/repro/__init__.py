@@ -27,6 +27,9 @@ Modules mirror the paper's architecture (Figure 1):
 * :mod:`repro.obs` — observability: span-tree tracing over the
   fork-join runtime, Chrome-trace/summary exporters, and the unified
   metrics registry (``python -m repro profile ...``).
+* :mod:`repro.views` — batch-dynamic materialized views (closest pair,
+  DBSCAN labels, 2D hull) maintained incrementally over a dynamic
+  index, bitwise-equal to from-scratch recomputation at every version.
 
 Quickstart::
 
@@ -71,6 +74,7 @@ from .frontend import Frontend
 from .serve import GeometryService
 from .seb import Ball, smallest_enclosing_ball
 from .spatialsort import ZdTree, morton_sort
+from .views import ViewManager
 from .wspd import wspd
 
 __version__ = "1.0.0"
@@ -86,6 +90,7 @@ __all__ = [
     "PointSet",
     "RebuildTree",
     "ShardedIndex",
+    "ViewManager",
     "ZdTree",
     "as_points",
     "bccp_points",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.bbox import TouchedRegion, _touched
 from ..core.points import as_array
 from ..kdtree.knnbuffer import KNNBuffer
 from ..kdtree.tree import KDTree, OBJECT_MEDIAN
@@ -71,6 +72,9 @@ class BDLTree:
         # that changes the live point set (version-keyed result caches —
         # repro.serve — rely on it to never serve stale answers)
         self.version = 0
+        # key-range of the last effective mutation, so derived-structure
+        # maintainers can scope invalidation instead of rebuilding
+        self.last_touched: TouchedRegion | None = None
 
     @classmethod
     def _from_parts(
@@ -103,6 +107,7 @@ class BDLTree:
         self.trees = trees
         self.next_gid = next_gid
         self.version = version
+        self.last_touched = None
         return self
 
     # ------------------------------------------------------------------
@@ -167,6 +172,7 @@ class BDLTree:
             return gids
         self._insert_with_ids(pts, gids)
         self.version += 1
+        self.last_touched = _touched("insert", pts, m, self.version)
         return gids
 
     def _insert_with_ids(self, pts: np.ndarray, gids: np.ndarray) -> None:
@@ -282,6 +288,7 @@ class BDLTree:
             self._insert_with_ids(np.vstack(re_p), np.concatenate(re_g))
         if deleted:
             self.version += 1
+            self.last_touched = _touched("erase", q, deleted, self.version)
         return deleted
 
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ Examples::
     python -m repro emst pts.npy -o mst.csv
     python -m repro graph pts.npy --kind gabriel -o edges.csv
     python -m repro serve-replay pts.npy --synthetic 2000 --compare
+    python -m repro stream-bench pts.npy --mutation-frac 0.35 --views closest_pair,hull2d
     python -m repro profile --trace-out knn.trace.json knn pts.npy -k 8
 """
 
@@ -200,23 +201,35 @@ def cmd_serve_replay(args) -> int:
 
     pts = _load(args.input)
     coords = pts.coords
+    dynamic = args.dynamic or args.shards > 0
+    view_names = _parse_views(args, coords)
+    if (view_names or args.mutation_frac > 0) and not dynamic:
+        print("serve-replay: --views / --mutation-frac need a dynamic index "
+              "(--dynamic or --shards)", file=sys.stderr)
+        return 2
 
     if args.trace:
         trace = load_trace(args.trace)
         try:
-            validate_trace(trace, len(coords), coords.shape[1])
+            validate_trace(trace, len(coords), coords.shape[1],
+                           dynamic=dynamic)
         except TraceMismatch as exc:
             print(f"serve-replay: trace does not fit the loaded dataset: {exc}",
                   file=sys.stderr)
             return 2
     else:
         kinds = tuple(args.mix.split(","))
+        if view_names and "view" not in kinds:
+            kinds = kinds + ("view",)
         trace = synthetic_trace(
             coords,
             args.synthetic,
             kinds=kinds,
             k=args.k,
             repeat_frac=args.repeat_frac,
+            mutation_frac=args.mutation_frac,
+            mutation_batch=args.mutation_batch,
+            view_names=view_names,
             seed=args.seed,
         )
     if args.save_trace:
@@ -227,12 +240,15 @@ def cmd_serve_replay(args) -> int:
         if args.shards > 0:
             from .cluster import ShardedIndex
 
-            return ShardedIndex(coords, args.shards)
-        if args.dynamic:
-            bdl = BDLTree(dim=coords.shape[1])
-            bdl.insert(coords)
-            return bdl
-        return KDTree(coords)
+            index = ShardedIndex(coords, args.shards)
+        elif args.dynamic:
+            index = BDLTree(dim=coords.shape[1])
+            index.insert(coords)
+        else:
+            return KDTree(coords)
+        if view_names:
+            _attach_views(index, view_names, args)
+        return index
 
     with _use_backend(args):
         service = GeometryService(
@@ -266,13 +282,170 @@ def cmd_serve_replay(args) -> int:
         if args.compare:
             index = build_index()  # fresh index: same state as the service
             t0 = time.perf_counter()
-            run_unbatched(index, trace)
+            run_unbatched(index, trace,
+                          views=_view_computes(view_names, args) or None)
             dt = time.perf_counter() - t0
             ratio = dt / report.seconds if report.seconds > 0 else float("inf")
             print(
                 f"unbatched loop (recursive engine): {dt:.3f}s "
                 f"({len(trace) / dt:,.0f} req/s) -> service is {ratio:.2f}x faster"
             )
+    return 0
+
+
+_VIEW_CHOICES = ("closest_pair", "dbscan", "hull2d")
+
+
+def _parse_views(args, coords) -> tuple[str, ...]:
+    """Parse a ``--views`` flag into validated view names (may exit 2)."""
+    raw = getattr(args, "views", None)
+    if not raw:
+        return ()
+    names = tuple(s.strip() for s in raw.split(",") if s.strip())
+    for n in names:
+        if n not in _VIEW_CHOICES:
+            print(f"error: unknown view {n!r} (choose from "
+                  f"{', '.join(_VIEW_CHOICES)})", file=sys.stderr)
+            raise SystemExit(2)
+    if "hull2d" in names and coords.shape[1] != 2:
+        print("error: the hull2d view needs 2-dimensional points",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return names
+
+
+def _attach_views(index, names, args):
+    """Attach a ViewManager with the named views to a dynamic index."""
+    from .views import ViewManager
+
+    mgr = ViewManager(index)
+    for n in names:
+        if n == "closest_pair":
+            mgr.closest_pair()
+        elif n == "dbscan":
+            mgr.dbscan(eps=args.eps, min_pts=args.min_pts)
+        else:
+            mgr.hull2d()
+    return mgr
+
+
+def _view_computes(names, args) -> dict:
+    """name -> from-scratch ``compute(pts, gids)``: the recompute baseline."""
+    from .views import ClosestPairView, DBSCANView, HullView
+
+    out = {}
+    for n in names:
+        if n == "closest_pair":
+            out[n] = ClosestPairView.compute
+        elif n == "dbscan":
+            out[n] = (lambda pts, gids, _e=args.eps, _m=args.min_pts:
+                      DBSCANView.compute(pts, gids, eps=_e, min_pts=_m))
+        else:
+            out[n] = HullView.compute
+    return out
+
+
+def cmd_stream_bench(args) -> int:
+    """Incremental view maintenance vs recompute-from-scratch, same trace."""
+    from .bdl import BDLTree
+    from .serve import run_unbatched, save_trace, synthetic_trace
+
+    pts = _load(args.input)
+    coords = pts.coords
+    args.views = args.views or "closest_pair" + (
+        ",hull2d" if coords.shape[1] == 2 else "")
+    view_names = _parse_views(args, coords)
+    if not 0.0 < args.mutation_frac <= 1.0:
+        print("error: stream-bench needs --mutation-frac in (0, 1]",
+              file=sys.stderr)
+        return 2
+
+    def build_index():
+        if args.shards > 0:
+            from .cluster import ShardedIndex
+
+            return ShardedIndex(coords, args.shards)
+        bdl = BDLTree(dim=coords.shape[1])
+        bdl.insert(coords)
+        return bdl
+
+    trace = synthetic_trace(
+        coords,
+        args.requests,
+        kinds=("view",),
+        mutation_frac=args.mutation_frac,
+        mutation_batch=args.mutation_batch,
+        view_names=view_names,
+        seed=args.seed,
+    )
+    if args.save_trace:
+        save_trace(args.save_trace, trace)
+    n_mut = sum(1 for op in trace if op["op"] in ("insert", "erase"))
+    n_view = len(trace) - n_mut
+
+    with _use_backend(args):
+        # incremental side: mutations repair the registered views in place
+        mgr = _attach_views(build_index(), view_names, args)
+        t0 = time.perf_counter()
+        inc = []
+        for op in trace:
+            if op["op"] == "insert":
+                mgr.insert(np.asarray(op["pts"], dtype=np.float64))
+                inc.append(None)
+            elif op["op"] == "erase":
+                mgr.erase(np.asarray(op["pts"], dtype=np.float64))
+                inc.append(None)
+            else:
+                inc.append(mgr.get(op["name"]))
+        t_inc = time.perf_counter() - t0
+
+        # baseline side: same trace, every view read recomputed from scratch
+        base_index = build_index()
+        t0 = time.perf_counter()
+        base = run_unbatched(base_index, trace,
+                             views=_view_computes(view_names, args))
+        t_base = time.perf_counter() - t0
+
+    mismatches = sum(1 for a, b in zip(inc, base) if a != b)
+    speedup = t_base / t_inc if t_inc > 0 else float("inf")
+    kind = (f"ShardedIndex[{args.shards}]" if args.shards > 0 else "BDLTree")
+    print(f"stream-bench: {len(coords)} points ({kind}), {len(trace)} ops "
+          f"({n_mut} mutations / {n_view} view reads, "
+          f"batch {args.mutation_batch})")
+    print(f"views: {', '.join(view_names)}")
+    print(f"incremental maintenance: {t_inc:.3f}s | recompute-from-scratch: "
+          f"{t_base:.3f}s -> {speedup:.2f}x faster")
+    for name, st in mgr.stats().items():
+        print(f"  {name}: {st['repairs']} repairs, "
+              f"{st['recomputes']} recompute fallbacks")
+    if mismatches:
+        print(f"error: {mismatches} view answer(s) diverged from the "
+              f"recompute baseline", file=sys.stderr)
+        return 1
+    print(f"all {n_view} view answers bitwise-equal to the baseline")
+    if args.json_out:
+        import json
+
+        rec = {
+            "n_points": int(len(coords)),
+            "dim": int(coords.shape[1]),
+            "index": kind,
+            "views": list(view_names),
+            "n_ops": len(trace),
+            "n_mutations": n_mut,
+            "n_view_reads": n_view,
+            "mutation_frac": args.mutation_frac,
+            "mutation_batch": args.mutation_batch,
+            "incremental_s": t_inc,
+            "recompute_s": t_base,
+            "speedup": speedup,
+            "answers_equal": mismatches == 0,
+            "view_stats": mgr.stats(),
+        }
+        with open(args.json_out, "w") as f:
+            json.dump(rec, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.json_out}")
     return 0
 
 
@@ -428,13 +601,42 @@ def cmd_dash(args) -> int:
     from .obs.dash import render
 
     pts = _load(args.input)
-    fe, loads, _ = _build_load(args, pts.coords)
+    coords = pts.coords
+    fe, loads, heavy_idx = _build_load(args, coords)
     clear = "" if args.no_clear else "\x1b[2J\x1b[H"
+
+    mgr = None
+    if args.views:
+        if args.shards <= 0:
+            print("error: dash --views needs a dynamic heavy tenant "
+                  "(--shards > 0)", file=sys.stderr)
+            return 2
+        names = ("closest_pair",) + (
+            ("hull2d",) if coords.shape[1] == 2 else ())
+        mgr = _attach_views(heavy_idx, names, args)
+    rng = np.random.default_rng(args.seed + 9)
+    stash: list = []
+
+    async def churn():
+        # alternate jittered inserts with erases of what we inserted, so
+        # the views column moves while the dataset stays near its size
+        try:
+            if stash and rng.random() < 0.5:
+                await fe.erase("heavy", stash.pop(0))
+            else:
+                batch = (coords[rng.integers(len(coords), size=8)]
+                         + rng.normal(0, 0.01, (8, coords.shape[1])))
+                stash.append(batch)
+                await fe.insert("heavy", batch)
+        except Exception:
+            pass  # dash keeps drawing even when mutations are shed
 
     async def run():
         task = asyncio.ensure_future(run_open_loop(fe, loads))
         try:
             while not task.done():
+                if mgr is not None:
+                    await churn()
                 print(clear + render(fe), flush=True)
                 await asyncio.sleep(args.interval)
             report = await task
@@ -604,6 +806,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fraction of synthetic requests repeating earlier ones")
     sr.add_argument("--seed", type=int, default=0)
     sr.add_argument("--save-trace", help="also write the replayed trace as JSONL")
+    sr.add_argument("--mutation-frac", type=float, default=0.0,
+                    help="fraction of synthetic ops that are insert/erase "
+                         "batches (needs a dynamic index)")
+    sr.add_argument("--mutation-batch", type=int, default=8,
+                    help="points per synthetic mutation batch (default 8)")
+    sr.add_argument("--views", metavar="NAMES",
+                    help="comma-separated materialized views to register "
+                         "and read (closest_pair,dbscan,hull2d); adds "
+                         "'view' ops to synthetic traces")
+    sr.add_argument("--eps", type=float, default=0.1,
+                    help="eps for the dbscan view (default 0.1)")
+    sr.add_argument("--min-pts", type=int, default=8,
+                    help="min_pts for the dbscan view (default 8)")
     sr.add_argument("--dynamic", action="store_true",
                     help="serve from a BDLTree instead of a static KDTree")
     sr.add_argument("--shards", type=int, default=0, metavar="N",
@@ -620,6 +835,40 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the post-run service metrics snapshot as JSON")
     _add_backend_arg(sr)
     sr.set_defaults(fn=cmd_serve_replay)
+
+    sb = sub.add_parser(
+        "stream-bench",
+        help="incremental view maintenance vs recompute on an update-heavy trace",
+        description="Replay an update-heavy synthetic trace (insert/erase "
+        "batches interleaved with materialized-view reads) twice: once "
+        "with repro.views maintaining the views incrementally, once with "
+        "every view read recomputed from scratch; verify the answers are "
+        "bitwise-equal at every version and report the speedup.",
+    )
+    sb.add_argument("input", help="point file the stream runs against")
+    sb.add_argument("--requests", type=int, default=2000, metavar="N",
+                    help="ops to synthesize (default 2000)")
+    sb.add_argument("--mutation-frac", type=float, default=0.35,
+                    help="fraction of ops that are insert/erase batches "
+                         "(default 0.35 — update-heavy)")
+    sb.add_argument("--mutation-batch", type=int, default=8,
+                    help="points per mutation batch (default 8)")
+    sb.add_argument("--views", metavar="NAMES",
+                    help="comma-separated views to maintain "
+                         "(default: closest_pair, plus hull2d when 2D)")
+    sb.add_argument("--eps", type=float, default=0.1,
+                    help="eps for the dbscan view (default 0.1)")
+    sb.add_argument("--min-pts", type=int, default=8,
+                    help="min_pts for the dbscan view (default 8)")
+    sb.add_argument("--shards", type=int, default=0, metavar="N",
+                    help="maintain views over a Hilbert-sharded index "
+                         "with N shards (0 = BDLTree)")
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--save-trace", help="also write the trace as JSONL")
+    sb.add_argument("--json-out", metavar="PATH",
+                    help="write the comparison record as JSON")
+    _add_backend_arg(sb)
+    sb.set_defaults(fn=cmd_stream_bench)
 
     cb = sub.add_parser(
         "cluster-bench",
@@ -676,6 +925,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seconds between dashboard redraws (default 0.5)")
     da.add_argument("--no-clear", action="store_true",
                     help="append frames instead of clearing the screen")
+    da.add_argument("--views", action="store_true",
+                    help="maintain materialized views on the heavy tenant "
+                         "and churn mutations so the views column moves")
     da.set_defaults(fn=cmd_dash)
 
     pr = sub.add_parser(

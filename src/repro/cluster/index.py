@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.bbox import TouchedRegion, _touched
 from ..core.points import as_array
 from ..kdtree.batch import resolve_engine
 from ..obs.registry import MetricsRegistry
@@ -106,6 +107,8 @@ class ShardedIndex:
         self.next_gid = n
         # monotonic mutation counter (versioned result caches key on it)
         self.version = 0
+        # key-range + shard ids of the last effective mutation
+        self.last_touched: TouchedRegion | None = None
         # shared-memory snapshots of per-shard query state, packed
         # lazily (processes backend only) and re-packed on version bump
         self._snaps = SnapshotManager()
@@ -170,6 +173,16 @@ class ShardedIndex:
 
     def shard_sizes(self) -> list[int]:
         return [s.size() for s in self.shards]
+
+    def gather_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """All live (coords, gids) across every shard."""
+        parts = [s.gather() for s in self.shards if s.size() > 0]
+        if not parts:
+            return (np.empty((0, self.dim)), np.empty(0, dtype=np.int64))
+        return (
+            np.vstack([p for p, _ in parts]),
+            np.concatenate([g for _, g in parts]),
+        )
 
     def pruning_stats(self) -> dict:
         """Aggregate pruning effectiveness since construction."""
@@ -486,6 +499,9 @@ class ShardedIndex:
             )
             self.version += 1
             self._maybe_rebalance()
+            self.last_touched = _touched(
+                "insert", pts, me, self.version, shards=targets.tolist()
+            )
         return gids
 
     def erase(self, points) -> int:
@@ -512,6 +528,9 @@ class ShardedIndex:
             deleted = int(sum(counts))
             if deleted:
                 self.version += 1
+                self.last_touched = _touched(
+                    "erase", pts, deleted, self.version, shards=targets.tolist()
+                )
         return deleted
 
     # ------------------------------------------------------------------

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
-__all__ = ["BBox", "bbox_of"]
+__all__ = ["BBox", "TouchedRegion", "bbox_of"]
 
 
 class BBox:
@@ -84,6 +86,51 @@ class BBox:
         if not isinstance(other, BBox):
             return NotImplemented
         return bool(np.all(self.lo == other.lo) and np.all(self.hi == other.hi))
+
+
+@dataclass(frozen=True)
+class TouchedRegion:
+    """The key-range one batch mutation touched, for scoped invalidation.
+
+    Batch insert/erase on :class:`~repro.bdl.bdltree.BDLTree` and
+    :class:`~repro.cluster.index.ShardedIndex` publish one of these as
+    ``index.last_touched``: the conservative bounding box of the batch
+    (for erase, of the *requested* coordinates — a superset of what was
+    actually deleted), the effective point count, the post-mutation
+    ``version`` it belongs to, and — on a sharded index — the ids of
+    the shards the batch routed to.  Derived-structure maintainers
+    (:mod:`repro.views`) use it to repair only state intersecting the
+    region instead of invalidating everything behind an opaque version
+    bump.
+    """
+
+    kind: str                 #: "insert" | "erase"
+    lo: np.ndarray            #: per-dimension batch minimum
+    hi: np.ndarray            #: per-dimension batch maximum
+    count: int                #: points inserted / points actually deleted
+    version: int              #: index version this mutation produced
+    shards: tuple = field(default=())  #: shard ids routed to (sharded only)
+
+    def bbox(self) -> BBox:
+        """The touched region as a closed :class:`BBox`."""
+        return BBox(self.lo, self.hi)
+
+    def intersects(self, box: BBox) -> bool:
+        """True iff the touched region meets ``box`` (closed boxes)."""
+        return self.bbox().intersects(box)
+
+
+def _touched(kind: str, pts: np.ndarray, count: int, version: int,
+             shards=()) -> TouchedRegion:
+    """Build a :class:`TouchedRegion` for a nonempty batch."""
+    return TouchedRegion(
+        kind=kind,
+        lo=pts.min(axis=0),
+        hi=pts.max(axis=0),
+        count=int(count),
+        version=int(version),
+        shards=tuple(shards),
+    )
 
 
 def bbox_of(pts: np.ndarray) -> BBox:

@@ -78,9 +78,14 @@ from .errors import (
     UnknownTenant,
 )
 
-__all__ = ["Frontend", "Reply"]
+__all__ = ["Frontend", "MUTATION_KINDS", "Reply"]
 
 _STATE_CODE = {NORMAL: 0, DEGRADED: 1, OVERLOADED: 2}
+
+#: Mutation request kinds: routed to the tenant's index (through its
+#: ViewManager when one is attached) instead of the coalescing service,
+#: acting as barriers inside a dispatch quantum.
+MUTATION_KINDS = ("insert", "erase")
 
 
 @dataclass(frozen=True)
@@ -405,11 +410,50 @@ class Frontend:
         """Each point's nearest neighbor: value is ((n,), (n,))."""
         return await self._submit(tenant, "allnn", None, {}, timeout)
 
+    async def view(self, tenant: str, name: str, *,
+                   timeout: float | None = None) -> Reply:
+        """A materialized view's ``(answer, version)`` — never stale."""
+        return await self._submit(tenant, "view", name, {}, timeout)
+
+    async def insert(self, tenant: str, points, gids=None, *,
+                     timeout: float | None = None) -> Reply:
+        """Batch-insert into the tenant's dynamic index.
+
+        The mutation queues through the same weighted-fair scheduler as
+        queries and acts as a *barrier* inside its quantum: requests
+        ahead of it see the old version, requests behind it the new.
+        Value is ``(gids, version)``; registered views are repaired
+        before the reply resolves (the ``view_repair`` phase).
+        """
+        return await self._submit(
+            tenant, "insert", points, {"gids": gids}, timeout)
+
+    async def erase(self, tenant: str, points, *,
+                    timeout: float | None = None) -> Reply:
+        """Batch-erase by coordinates; value is ``(deleted, version)``."""
+        return await self._submit(tenant, "erase", points, {}, timeout)
+
+    def subscribe_view(self, tenant: str, fn):
+        """Register ``fn(event)`` on the tenant's view manager."""
+        mgr = getattr(self.tenant_index(tenant), "views", None)
+        if mgr is None:
+            raise ValueError(f"tenant {tenant!r} has no materialized views")
+        return mgr.subscribe(fn)
+
+    def unsubscribe_view(self, tenant: str, fn) -> None:
+        mgr = getattr(self.tenant_index(tenant), "views", None)
+        if mgr is not None:
+            mgr.unsubscribe(fn)
+
     async def submit(self, tenant: str, kind: str, payload=None, *,
                      timeout: float | None = None, **kw) -> Reply:
-        """Generic entry point mirroring ``GeometryService.submit``."""
-        if kind not in KINDS:
-            raise ValueError(f"unknown request kind {kind!r}; expected {KINDS}")
+        """Generic entry point mirroring ``GeometryService.submit``,
+        extended with the ``insert`` / ``erase`` mutation kinds."""
+        if kind not in KINDS and kind not in MUTATION_KINDS:
+            raise ValueError(
+                f"unknown request kind {kind!r}; expected one of "
+                f"{KINDS + MUTATION_KINDS}"
+            )
         return await self._submit(tenant, kind, payload, kw, timeout)
 
     # ------------------------------------------------------------------
@@ -431,26 +475,32 @@ class Frontend:
             self.slo.record(ctx.tenant, latency=None)
 
     @staticmethod
-    def _phase_split(latency, queue_wait, compute, merge, cache) -> dict:
+    def _phase_split(latency, queue_wait, compute, merge, cache,
+                     view_repair=0.0) -> dict:
         """Close the phase decomposition so it sums to ``latency``.
 
-        The attributed phases (compute / merge / cache) are scaled down
-        if they overrun the post-queue window (clock skew between the
-        serve-side walls and the end-to-end latency); ``dispatch`` is
-        the non-negative residual, so the five phases always sum to the
-        measured latency (within a float ulp of the subtraction).
+        The attributed phases (compute / view_repair / merge / cache)
+        are scaled down if they overrun the post-queue window (clock
+        skew between the serve-side walls and the end-to-end latency);
+        ``dispatch`` is the non-negative residual, so the six phases
+        always sum to the measured latency (within a float ulp of the
+        subtraction).
         """
         avail = max(latency - queue_wait, 0.0)
-        heavy = compute + merge + cache
+        heavy = compute + merge + cache + view_repair
         if heavy > avail:
             s = avail / heavy if heavy > 0 else 0.0
-            compute, merge, cache = compute * s, merge * s, cache * s
-        dispatch = max(latency - queue_wait - compute - merge - cache, 0.0)
+            compute, merge = compute * s, merge * s
+            cache, view_repair = cache * s, view_repair * s
+        dispatch = max(
+            latency - queue_wait - compute - merge - cache - view_repair, 0.0
+        )
         return {"queue_wait": queue_wait, "dispatch": dispatch,
-                "compute": compute, "merge": merge, "cache": cache}
+                "compute": compute, "view_repair": view_repair,
+                "merge": merge, "cache": cache}
 
     def _observe_ok(self, t, r, t0, *, m=None, hit=False, approximate=False,
-                    compute=None):
+                    compute=None, view_repair=0.0):
         """Phase-decompose and record one *answered* request.
 
         Returns ``(trace_id, phases)`` for the Reply, or ``(None,
@@ -475,7 +525,8 @@ class Frontend:
                         else (1.0 / m.batch_size if m.batch_size else 0.0))
                 compute = frac * m.exec_wall
                 merge = m.merge_wall
-        phases = self._phase_split(latency, qw, compute, merge, cache)
+        phases = self._phase_split(latency, qw, compute, merge, cache,
+                                   view_repair)
         trt = RequestTrace(
             trace_id=ctx.trace_id, tenant=ctx.tenant, kind=ctx.kind,
             t_start=ctx.t_start, latency=latency, phases=phases,
@@ -610,12 +661,59 @@ class Frontend:
     def _execute_batch(self, t: _Tenant, batch: list[_Request], t0: float):
         """Execute one tenant quantum off the event loop.
 
-        Exact requests ride the coalescing service (batching + cache);
-        degraded kNN requests go straight to the index's
-        home-shard-only path, grouped by (k, exclude_self) so one
-        vectorized probe answers the whole group.
+        Mutations act as barriers: the quantum splits into query
+        segments at each insert/erase, so a request's answer always
+        reflects exactly the mutations queued ahead of it.  Within a
+        segment, exact requests ride the coalescing service (batching +
+        cache) and degraded kNN requests go straight to the index's
+        home-shard-only path.
         """
         out: dict[int, tuple[bool, object]] = {}
+        segment: list[_Request] = []
+        for r in batch:
+            if r.kind in MUTATION_KINDS:
+                if segment:
+                    self._run_segment(t, segment, t0, out)
+                    segment = []
+                self._run_mutation(t, r, t0, out)
+            else:
+                segment.append(r)
+        if segment:
+            self._run_segment(t, segment, t0, out)
+        return [out[id(r)] for r in batch]
+
+    def _run_mutation(self, t: _Tenant, r: _Request, t0: float,
+                      out: dict) -> None:
+        """Apply one batch mutation, repairing views before replying."""
+        mgr = getattr(t.index, "views", None)
+        a0 = self._clock()
+        try:
+            pts = np.ascontiguousarray(r.payload, dtype=np.float64)
+            if r.kind == "insert":
+                target = mgr if mgr is not None else t.index
+                value = target.insert(pts, r.kw.get("gids"))
+            else:
+                target = mgr if mgr is not None else t.index
+                value = target.erase(pts)
+        except Exception as exc:
+            out[id(r)] = (False, exc)
+            self._record_dropped(r.ctx, "error", error=exc)
+            return
+        wall = self._clock() - a0
+        repair = mgr.last_stats["repair_s"] if mgr is not None else 0.0
+        t.m_completed.inc()
+        trace_id, phases = self._observe_ok(
+            t, r, t0, compute=max(wall - repair, 0.0), view_repair=repair
+        )
+        out[id(r)] = (True, Reply(
+            value=(value, int(getattr(t.index, "version", 0))),
+            approximate=False, tenant=t.name, kind=r.kind,
+            queue_wait=t0 - r.enqueued_at,
+            trace_id=trace_id, phases=phases,
+        ))
+
+    def _run_segment(self, t: _Tenant, batch: list[_Request], t0: float,
+                     out: dict) -> None:
         exact = [r for r in batch if not r.degraded]
         degraded = [r for r in batch if r.degraded]
 
@@ -681,7 +779,6 @@ class Frontend:
                         queue_wait=t0 - r.enqueued_at,
                         trace_id=trace_id, phases=phases,
                     ))
-        return [out[id(r)] for r in batch]
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -700,7 +700,11 @@ def execute_requests(index, requests, costs_out: list | None = None) -> list:
     * ``("ball", (center, radius), {})`` — result: global ids within
       ``radius`` of ``center`` (per-request radii batch together);
     * ``("allnn", None, {})`` — result ``(dists, ids)`` over all alive
-      points (KDTree indexes only).
+      points (KDTree indexes only);
+    * ``("view", name, {"name": name})`` — the named materialized
+      view's ``(answer, version)`` from the index's attached
+      :class:`~repro.views.manager.ViewManager` (one lookup per group;
+      requires a view-bearing dynamic dataset).
 
     Requests are grouped by ``(kind, params)`` preserving first-seen
     order and each group runs as ONE vectorized shot through the
@@ -786,6 +790,15 @@ def _run_group(index, requests, results, kind, params, idxs) -> None:
         if not isinstance(index, KDTree):
             raise ValueError("allnn requests require a static KDTree dataset")
         shared = batched_allnn_on_tree(index)
+        for i in idxs:
+            results[i] = shared
+    elif kind == "view":
+        manager = getattr(index, "views", None)
+        if manager is None:
+            raise ValueError(
+                "view requests require a dataset with a ViewManager attached"
+            )
+        shared = manager.get(params["name"])
         for i in idxs:
             results[i] = shared
     else:

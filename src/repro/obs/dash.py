@@ -21,7 +21,7 @@ from .rtrace import PHASES, RequestTrace
 __all__ = ["render", "render_trace_line"]
 
 #: One glyph per phase, in timeline order, for the inline bars.
-_PHASE_GLYPHS = dict(zip(PHASES, "░▒█▓·"))
+_PHASE_GLYPHS = dict(zip(PHASES, "░▒█▪▓·"))
 
 
 def _bar(trt: RequestTrace, width: int = 24) -> str:
@@ -75,6 +75,22 @@ def render(frontend, *, slowest: int = 5, width: int = 78) -> str:
             row += (f"  {lat.get('5m', 0.0):6.2f}/{lat.get('1h', 0.0):<6.2f}"
                     f" {av.get('5m', 0.0):5.2f}/{av.get('1h', 0.0):<5.2f}")
         lines.append(row)
+
+    view_rows = []
+    for name in sorted(snap["per_tenant"]):
+        mgr = getattr(frontend.tenant_index(name), "views", None)
+        if mgr is None:
+            continue
+        for vname, vs in sorted(mgr.stats().items()):
+            view_rows.append(
+                f"{name:>10s} {vname:>14s} v{vs['version']:<6d}"
+                f" repairs {vs['repairs']:6d}  recomputes {vs['recomputes']:4d}"
+            )
+    if view_rows:
+        lines.append("-" * width)
+        lines.append(f"{'tenant':>10s} {'view':>14s} {'ver':<7s}"
+                     f" repairs vs recompute-fallbacks")
+        lines.extend(view_rows)
 
     flight = snap.get("flight")
     if flight:

@@ -18,6 +18,9 @@ a p999 outlier can be decomposed into *phases*:
     the request's attributed slice of the coalesced batch execution
     (proportional to the work its group charged — see
     :func:`partition_work`, which splits the batch total *exactly*);
+``view_repair``
+    a mutation request's time repairing registered materialized views
+    (:mod:`repro.views`) after the batch applied to the index;
 ``merge``
     result distribution after the batch executed (cache fills, top-k
     gather, ticket resolution);
@@ -74,8 +77,10 @@ __all__ = [
 ]
 
 #: Request phases, in timeline order.  ``dispatch`` is the residual, so
-#: the five always sum to the request's measured latency.
-PHASES = ("queue_wait", "dispatch", "compute", "merge", "cache")
+#: the phases always sum to the request's measured latency.
+#: ``view_repair`` is the slice a mutation request spends repairing
+#: materialized views (:mod:`repro.views`) after the batch applied.
+PHASES = ("queue_wait", "dispatch", "compute", "view_repair", "merge", "cache")
 
 _COUNTER = itertools.count(1)
 _SALT = os.urandom(4).hex()

@@ -65,7 +65,7 @@ from .metrics import RequestMetrics, ServiceStats
 __all__ = ["GeometryService", "KINDS"]
 
 #: Request kinds the service understands.
-KINDS = ("knn", "box", "ball", "allnn")
+KINDS = ("knn", "box", "ball", "allnn", "view")
 
 _UNSET = object()
 
@@ -212,6 +212,15 @@ class GeometryService:
             return (c, r), (), query_digest(c, np.float64(r))
         if kind == "allnn":
             return None, (), b"allnn"
+        if kind == "view":
+            if not isinstance(payload, str) or not payload:
+                raise ValueError("view requests take the view name as payload")
+            if getattr(index, "views", None) is None:
+                raise ValueError(
+                    f"dataset has no materialized views; attach a ViewManager"
+                    f" before requesting view {payload!r}"
+                )
+            return payload, (("name", payload),), payload.encode("utf-8")
         raise ValueError(f"unknown request kind {kind!r}; expected one of {KINDS}")
 
     # ------------------------------------------------------------------
@@ -310,6 +319,10 @@ class GeometryService:
     def allnn(self, dataset: str, *, timeout: float | None = _UNSET):
         """Each alive point's nearest neighbor: (dists, ids)."""
         return self._request(dataset, "allnn", timeout=timeout)
+
+    def view(self, dataset: str, name: str, *, timeout: float | None = _UNSET):
+        """A materialized view's ``(answer, version)`` — never stale."""
+        return self._request(dataset, "view", name, timeout=timeout)
 
     # ------------------------------------------------------------------
     # dispatch

@@ -10,7 +10,11 @@ JSONL:
 * ``{"op": "insert", "pts": [[...], ...]}`` / ``{"op": "erase", "pts":
   [[...], ...]}`` — mutation batches, applied to the registered index
   (BDLTree) between queries; pending queries are flushed first so the
-  replay is deterministic.
+  replay is deterministic.  When the index carries a
+  :class:`~repro.views.manager.ViewManager`, mutations route through it
+  so materialized views repair incrementally.
+* ``{"op": "view", "name": "closest_pair"}`` — read a materialized
+  view; the reply is the version-keyed ``(answer, version)``.
 
 :func:`replay` feeds a trace through a :class:`GeometryService`
 (dynamic batching + cache), while :func:`run_unbatched` is the
@@ -53,6 +57,9 @@ def synthetic_trace(
     k: int = 8,
     repeat_frac: float = 0.0,
     extent_frac: float = 0.05,
+    mutation_frac: float = 0.0,
+    mutation_batch: int = 8,
+    view_names: tuple[str, ...] = (),
     seed: int = 0,
 ) -> list[dict]:
     """A mixed query trace shaped like traffic against ``points``.
@@ -61,18 +68,48 @@ def synthetic_trace(
     cover ``extent_frac`` of the bounding box per side.  A
     ``repeat_frac`` fraction of requests repeats an earlier request
     verbatim (the cache-hit population of real traffic).
+
+    ``mutation_frac > 0`` makes the trace *update-heavy*: that fraction
+    of ops become ``insert`` / ``erase`` batches of ``mutation_batch``
+    points.  Erase batches pick coordinates from the current live pool
+    (seed points plus prior inserts, minus prior erases), so replaying
+    against the matching dataset actually deletes points.  ``"view"``
+    in ``kinds`` emits materialized-view reads over ``view_names``.
     """
     pts = np.asarray(points, dtype=np.float64)
     if pts.ndim != 2 or len(pts) == 0:
         raise ValueError("points must be a non-empty (n, d) array")
+    if "view" in kinds and not view_names:
+        raise ValueError("'view' in kinds requires view_names=(...)")
+    if not 0.0 <= mutation_frac <= 1.0:
+        raise ValueError("mutation_frac must be in [0, 1]")
     rng = np.random.default_rng(seed)
     lo, hi = pts.min(axis=0), pts.max(axis=0)
     span = np.where(hi > lo, hi - lo, 1.0)
+    pool = list(pts.tolist())  # live coordinates an erase may target
     trace: list[dict] = []
     for _ in range(n_requests):
-        if trace and rng.random() < repeat_frac:
-            trace.append(dict(trace[rng.integers(len(trace))]))
+        if mutation_frac > 0.0 and rng.random() < mutation_frac:
+            m = int(mutation_batch)
+            if rng.random() < 0.5 and len(pool) > m:
+                take = rng.choice(len(pool), size=m, replace=False)
+                batch = [pool[j] for j in take]
+                for j in sorted(map(int, take), reverse=True):
+                    pool.pop(j)
+                trace.append({"op": "erase", "pts": batch})
+            else:
+                batch = (
+                    pts[rng.integers(len(pts), size=m)]
+                    + rng.normal(0, 0.02, (m, pts.shape[1])) * span
+                )
+                pool.extend(batch.tolist())
+                trace.append({"op": "insert", "pts": batch.tolist()})
             continue
+        if trace and rng.random() < repeat_frac:
+            prev = trace[rng.integers(len(trace))]
+            if prev["op"] not in ("insert", "erase"):
+                trace.append(dict(prev))
+                continue
         kind = kinds[rng.integers(len(kinds))]
         base = pts[rng.integers(len(pts))] + rng.normal(0, 0.01, pts.shape[1]) * span
         if kind == "knn":
@@ -87,6 +124,10 @@ def synthetic_trace(
             )
         elif kind == "allnn":
             trace.append({"op": "allnn"})
+        elif kind == "view":
+            trace.append(
+                {"op": "view", "name": view_names[rng.integers(len(view_names))]}
+            )
         else:
             raise ValueError(f"unknown trace kind {kind!r}")
     return trace
@@ -203,12 +244,16 @@ class TraceMismatch(ValueError):
     """A trace op is inconsistent with the dataset it is replayed against."""
 
 
-def validate_trace(trace: list[dict], n_points: int, dim: int) -> None:
+def validate_trace(trace: list[dict], n_points: int, dim: int, *,
+                   dynamic: bool = True) -> None:
     """Check every op against the loaded dataset; raise :class:`TraceMismatch`.
 
     Catches the replay-against-the-wrong-file class of mistakes — a
     trace generated for a larger or higher-dimensional dataset — with
     a one-line diagnosis instead of a bare engine error mid-replay.
+    ``dynamic=False`` declares the replay target immutable (a static
+    KDTree dataset): any ``insert`` / ``erase`` op is then rejected up
+    front instead of failing mid-replay.
     """
 
     def _dim_of(x) -> int:
@@ -261,6 +306,12 @@ def validate_trace(trace: list[dict], n_points: int, dim: int) -> None:
         elif kind == "allnn":
             pass
         elif kind in ("insert", "erase"):
+            if not dynamic:
+                raise TraceMismatch(
+                    f"op {i}: trace contains a {kind!r} batch but the "
+                    f"dataset is static — replay update traces against a "
+                    f"dynamic index (--dynamic or --shards)"
+                )
             pts = np.asarray(op.get("pts", []), dtype=np.float64)
             if pts.ndim != 2 or pts.shape[1] != dim:
                 raise TraceMismatch(
@@ -269,6 +320,15 @@ def validate_trace(trace: list[dict], n_points: int, dim: int) -> None:
                 )
             if kind == "insert":
                 n_live += len(pts)
+        elif kind == "view":
+            name = op.get("name")
+            if not isinstance(name, str) or not name:
+                raise TraceMismatch(f"op {i}: view needs a 'name' string")
+            if not dynamic:
+                raise TraceMismatch(
+                    f"op {i}: materialized view {name!r} requires a "
+                    f"dynamic view-bearing dataset (--dynamic or --shards)"
+                )
         else:
             raise TraceMismatch(f"op {i}: unknown trace op {kind!r}")
 
@@ -340,6 +400,8 @@ def _submit_op(service: GeometryService, dataset: str, op: dict, timeout):
         return service.submit(dataset, "box", (op["lo"], op["hi"]), timeout=timeout)
     if kind == "allnn":
         return service.submit(dataset, "allnn", timeout=timeout)
+    if kind == "view":
+        return service.submit(dataset, "view", op["name"], timeout=timeout)
     raise ValueError(f"unknown trace op {kind!r}")
 
 
@@ -367,11 +429,14 @@ def replay(
             if manual:
                 service.flush()
             index = service.index(dataset)
+            # mutate through the view manager when one is attached, so
+            # registered views repair instead of resyncing on next read
+            target = getattr(index, "views", None) or index
             pts = np.asarray(op["pts"], dtype=np.float64)
             if op["op"] == "insert":
-                index.insert(pts)
+                target.insert(pts)
             else:
-                index.erase(pts)
+                target.erase(pts)
             tickets.append(_MUTATION)
             continue
         try:
@@ -422,12 +487,18 @@ def replay(
     )
 
 
-def run_unbatched(index, trace: list[dict]) -> list:
+def run_unbatched(index, trace: list[dict], *, views: dict | None = None) -> list:
     """The baseline the service is measured against: one recursive-engine
     query per request, no batching, no cache.
 
     Results use the service's conventions (global ids; (sq-dists, ids)
     rows for kNN), so they compare bitwise against a replay's results.
+
+    ``views`` maps view name -> ``compute(pts, gids)`` callable; a
+    ``view`` op then gathers the live points and recomputes the answer
+    *from scratch*, yielding the same ``(answer, version)`` shape the
+    service returns — the recompute-everything baseline incremental
+    maintenance is gated against.
     """
     from ..kdtree.batch import batched_allnn_on_tree
     from ..kdtree.tree import KDTree
@@ -458,6 +529,14 @@ def run_unbatched(index, trace: list[dict]) -> list:
         elif kind == "erase":
             index.erase(np.asarray(op["pts"], dtype=np.float64))
             out.append(None)
+        elif kind == "view":
+            if views is None or op["name"] not in views:
+                raise ValueError(
+                    f"view op {op['name']!r} needs a views= compute mapping"
+                )
+            pts, gids = index.gather_points()
+            answer = views[op["name"]](pts, gids)
+            out.append((answer, int(getattr(index, "version", 0))))
         else:
             raise ValueError(f"unknown trace op {kind!r}")
     return out

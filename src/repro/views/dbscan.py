@@ -1,0 +1,403 @@
+"""Incrementally maintained DBSCAN labels over a batch-dynamic index.
+
+The view keeps, per mirror row, the exact closed eps-ball population
+``ncount`` (so core status is a threshold check), a component id in a
+growing union-find space for core rows (merging reuses the repo's
+:class:`~repro.emst.unionfind.UnionFind`), and for border rows an
+*anchor* — the smallest-gid core neighbor, which is precisely the core
+point :func:`repro.clustering.dbscan.dbscan` lets a border point adopt
+its label from.
+
+A batch only re-examines points whose eps-neighborhood changed:
+
+* **insert** — ball queries centered at the inserted points update the
+  neighbor counts of exactly the rows inside those balls; rows whose
+  count crosses ``min_pts`` flip to core; new cores (inserted or
+  flipped) get fresh components and union with their core neighbors.
+  Existing component edges never break (no distance changed, no point
+  left), so untouched components carry over verbatim.
+* **erase** — symmetric count updates; components that lost a member
+  or a core flip are *broken* and their surviving cores re-cluster
+  from fresh singletons, while every unbroken component is provably
+  intact (its members and pairwise distances are untouched).
+
+Labels are derived on demand in canonical form — components numbered
+by first appearance scanning rows in ascending gid order, borders
+adopting their anchor's label — which is exactly the numbering
+``dbscan()`` produces on the gid-sorted live set, so the view answer is
+identical to the from-scratch reference :meth:`DBSCANView.compute`.
+
+Ball membership uses ``d2 <= eps**2`` with the same row-reduction the
+kd-tree range search evaluates, so brute repair queries and the tree
+queries the reference runs agree point-for-point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clustering.dbscan import dbscan
+from ..emst.unionfind import UnionFind
+from ..parlay.workdepth import charge
+from .base import MaterializedView, Mirror, pairs_d2
+
+__all__ = ["DBSCANView"]
+
+
+class DBSCANView(MaterializedView):
+    """Materialized DBSCAN labels ``(gids_sorted, labels)`` tuples."""
+
+    kind = "dbscan"
+
+    def __init__(self, name: str, *, eps: float, min_pts: int):
+        super().__init__(name)
+        self.eps = float(eps)
+        self.min_pts = int(min_pts)
+        self._eps2 = float(eps) ** 2
+        # per mirror row (grown lazily alongside the mirror):
+        self._ncount = np.zeros(0, dtype=np.int64)
+        self._core = np.zeros(0, dtype=bool)
+        self._comp = np.full(0, -1, dtype=np.int64)   # uf slot per core row
+        self._anchor = np.full(0, -1, dtype=np.int64)  # min-gid core nb row
+        self._uf = UnionFind(0)
+        self._uf_used = 0
+
+    # ------------------------------------------------------------------
+    # canonical from-scratch reference
+    # ------------------------------------------------------------------
+    @classmethod
+    def compute(cls, pts: np.ndarray, gids: np.ndarray, *,
+                eps: float, min_pts: int) -> tuple:
+        """``((gid, ...), (label, ...))`` over gid-ascending live points."""
+        gids = np.asarray(gids, dtype=np.int64)
+        order = np.argsort(gids)
+        labels = dbscan(
+            np.ascontiguousarray(pts, dtype=np.float64)[order],
+            eps, min_pts,
+        )
+        return (
+            tuple(int(g) for g in gids[order]),
+            tuple(int(v) for v in labels),
+        )
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def _grow(self, n: int) -> None:
+        add = n - len(self._ncount)
+        if add <= 0:
+            return
+        self._ncount = np.concatenate(
+            [self._ncount, np.zeros(add, dtype=np.int64)])
+        self._core = np.concatenate([self._core, np.zeros(add, dtype=bool)])
+        self._comp = np.concatenate(
+            [self._comp, np.full(add, -1, dtype=np.int64)])
+        self._anchor = np.concatenate(
+            [self._anchor, np.full(add, -1, dtype=np.int64)])
+
+    def _fresh_slot(self) -> int:
+        if self._uf_used == len(self._uf.parent):
+            cap = max(16, 2 * len(self._uf.parent))
+            nxt = UnionFind(cap)
+            nxt.parent[: self._uf_used] = self._uf.parent[: self._uf_used]
+            nxt.rank[: self._uf_used] = self._uf.rank[: self._uf_used]
+            self._uf = nxt
+        slot = self._uf_used
+        self._uf_used += 1
+        return slot
+
+    def _balls(self, mirror: Mirror, centers: np.ndarray) -> list[np.ndarray]:
+        """Live rows within eps of each center (closed ball, exact).
+
+        A uniform grid with cell width *strictly* greater than eps
+        narrows each query to the 3^d cell neighborhood of its center
+        — a superset filter only; membership is still decided by the
+        exact ``d2 <= eps**2`` predicate, so answers are bitwise
+        identical to the brute scan.  The 1/1024 width margin keeps the
+        "within eps implies adjacent cells" guarantee sound under the
+        float division's rounding for any |coordinate/eps| < 1e12;
+        outside that (or when 3^d lookups would rival a linear scan)
+        the brute path runs instead.
+        """
+        rows = mirror.live_rows()
+        centers = np.asarray(centers, dtype=np.float64)
+        if len(rows) == 0 or len(centers) == 0:
+            return [rows[:0]] * len(centers)
+        pts = mirror.pts[rows]
+        dim = pts.shape[1]
+        w = self.eps * (1.0 + 1.0 / 1024.0)
+        u = pts / w if w > 0 else None
+        cu = centers / w if w > 0 else None
+        if (
+            u is None or not np.isfinite(w)
+            or 3 ** dim >= max(len(rows), 2)
+            or (len(u) and np.abs(u).max() >= 1e12)
+            or (len(cu) and np.abs(cu).max() >= 1e12)
+        ):
+            charge(len(centers) * len(rows))
+            out = []
+            for c in centers:
+                d2 = pairs_d2(pts, c.reshape(1, -1))
+                out.append(rows[d2 <= self._eps2])
+            return out
+        cells = np.floor(u).astype(np.int64)
+        order = np.lexsort(cells.T[::-1])
+        sc = cells[order]
+        change = np.any(sc[1:] != sc[:-1], axis=1)
+        starts = np.concatenate([[0], np.flatnonzero(change) + 1])
+        ends = np.concatenate([starts[1:], [len(sc)]])
+        buckets = {
+            tuple(sc[s].tolist()): order[s:e]
+            for s, e in zip(starts, ends)
+        }
+        offsets = np.stack(
+            np.meshgrid(*([np.arange(-1, 2)] * dim), indexing="ij"),
+            axis=-1,
+        ).reshape(-1, dim)
+        ccells = np.floor(cu).astype(np.int64)
+        out = []
+        for c, cc in zip(centers, ccells):
+            cand: list = []
+            for off in offsets:
+                b = buckets.get(tuple((cc + off).tolist()))
+                if b is not None:
+                    cand.append(b)
+            if not cand:
+                out.append(rows[:0])
+                continue
+            idx = np.sort(np.concatenate(cand))
+            charge(len(idx))
+            d2 = pairs_d2(pts[idx], c.reshape(1, -1))
+            out.append(rows[idx[d2 <= self._eps2]])
+        return out
+
+    def _union_with_core_neighbors(self, r: int, nb_rows: np.ndarray) -> None:
+        charge(max(len(nb_rows), 1))
+        me = int(self._comp[r])
+        for j in nb_rows[self._core[nb_rows]]:
+            self._uf.union(me, int(self._comp[j]))
+
+    def _roots(self, slots: np.ndarray) -> np.ndarray:
+        """Vectorized union-find roots (no path compression)."""
+        p = self._uf.parent
+        r = np.asarray(slots, dtype=np.int64)
+        while True:
+            pr = p[r]
+            if np.array_equal(pr, r):
+                return r
+            r = pr
+
+    def _recluster(self, rows: np.ndarray, nbs: list) -> None:
+        """Fresh components for an edge-closed set of core ``rows``.
+
+        ``rows`` must contain every core reachable from any of its
+        members (true for all broken components together, and for the
+        full core set on rebuild), so the core-core edges inside the
+        given balls describe the whole subgraph.  Connected components
+        come from vectorized min-label propagation with pointer
+        jumping — O(edges * log diameter) array work instead of one
+        Python-level union call per edge.
+        """
+        m = len(rows)
+        if m == 0:
+            return
+        pos = np.full(len(self._comp), -1, dtype=np.int64)
+        pos[rows] = np.arange(m)
+        ei, ej = [], []
+        for i, (r, nb) in enumerate(zip(rows, nbs)):
+            cores = nb[self._core[nb]]
+            ei.append(np.full(len(cores), i, dtype=np.int64))
+            ej.append(pos[cores])
+        ei = np.concatenate(ei) if ei else np.empty(0, dtype=np.int64)
+        ej = np.concatenate(ej) if ej else np.empty(0, dtype=np.int64)
+        charge(len(ei) + m)
+        labels = np.arange(m)
+        while True:
+            new = labels.copy()
+            # balls are symmetric and rows edge-closed: every edge
+            # appears in both orientations, one scatter covers both
+            np.minimum.at(new, ei, labels[ej])
+            new = np.minimum(new, new[new])
+            if np.array_equal(new, labels):
+                break
+            labels = new
+        uniq, inverse = np.unique(labels, return_inverse=True)
+        slots = np.array([self._fresh_slot() for _ in uniq], dtype=np.int64)
+        self._comp[rows] = slots[inverse]
+
+    def _reanchor(self, r: int, nb_rows: np.ndarray, mirror: Mirror) -> None:
+        """Anchor = row of the min-gid core neighbor (or -1)."""
+        cores = nb_rows[self._core[nb_rows] & (nb_rows != r)]
+        if len(cores) == 0:
+            self._anchor[r] = -1
+        else:
+            self._anchor[r] = int(cores[np.argmin(mirror.gids[cores])])
+
+    # ------------------------------------------------------------------
+    # answer derivation (shared by every maintenance path)
+    # ------------------------------------------------------------------
+    def _derive_answer(self, mirror: Mirror) -> None:
+        rows = mirror.live_rows()
+        order = np.argsort(mirror.gids[rows])
+        rows = rows[order]
+        charge(max(len(rows), 1))
+        labels = np.full(len(rows), -1, dtype=np.int64)
+        by_row: dict[int, int] = {}
+        numbering: dict[int, int] = {}
+        for pos, r in enumerate(rows):
+            if self._core[r]:
+                root = self._uf.find(int(self._comp[r]))
+                if root not in numbering:
+                    numbering[root] = len(numbering)
+                labels[pos] = numbering[root]
+                by_row[int(r)] = labels[pos]
+        for pos, r in enumerate(rows):
+            if not self._core[r] and self._anchor[r] >= 0:
+                labels[pos] = by_row[int(self._anchor[r])]
+        self.answer = (
+            tuple(int(g) for g in mirror.gids[rows]),
+            tuple(int(v) for v in labels),
+        )
+
+    # ------------------------------------------------------------------
+    # state (re)build
+    # ------------------------------------------------------------------
+    def _rebuild(self, mirror: Mirror) -> None:
+        self._grow(len(mirror.gids))
+        self._core[:] = False
+        self._comp[:] = -1
+        self._anchor[:] = -1
+        self._uf = UnionFind(0)
+        self._uf_used = 0
+        rows = mirror.live_rows()
+        if len(rows) == 0:
+            self._derive_answer(mirror)
+            return
+        nbs = self._balls(mirror, mirror.pts[rows])
+        for r, nb in zip(rows, nbs):
+            self._ncount[r] = len(nb)
+            self._core[r] = len(nb) >= self.min_pts
+        core_mask = self._core[rows]
+        self._recluster(rows[core_mask], [
+            nb for nb, c in zip(nbs, core_mask) if c])
+        for r, nb in zip(rows, nbs):
+            if not self._core[r]:
+                self._reanchor(int(r), nb, mirror)
+        self._derive_answer(mirror)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def _repair_insert(self, mirror: Mirror, rows: np.ndarray) -> None:
+        self.note_repair()
+        self._grow(len(mirror.gids))
+        nbs = self._balls(mirror, mirror.pts[rows])
+
+        # 1. neighbor counts: each inserted point adds one to every row
+        #    inside its ball; inserted rows take their full ball size
+        add = np.zeros(len(mirror.gids), dtype=np.int64)
+        for nb in nbs:
+            add[nb] += 1
+        was_core = self._core.copy()
+        touched = np.flatnonzero(add)
+        old_touched = np.setdiff1d(touched, rows, assume_unique=False)
+        self._ncount[old_touched] += add[old_touched]
+        for r, nb in zip(rows, nbs):
+            self._ncount[r] = len(nb)
+
+        # 2. core flips (insert only raises counts: flips are on-only)
+        self._core[touched] = self._ncount[touched] >= self.min_pts
+        flip_on = old_touched[
+            ~was_core[old_touched] & self._core[old_touched]]
+
+        # 3. components: fresh singletons for new cores, then union with
+        #    every core neighbor; old edges all survive untouched
+        new_cores = np.concatenate([rows[self._core[rows]], flip_on])
+        for r in new_cores:
+            self._comp[r] = self._fresh_slot()
+        flip_nbs = self._balls(mirror, mirror.pts[flip_on])
+        nb_of = {int(r): nb for r, nb in zip(rows, nbs)}
+        nb_of.update({int(r): nb for r, nb in zip(flip_on, flip_nbs)})
+        for r in new_cores:
+            self._union_with_core_neighbors(int(r), nb_of[int(r)])
+
+        # 4. anchors: a border row's min-gid core neighbor can only
+        #    change through a member of new_cores entering its ball
+        for r in new_cores:
+            self._anchor[r] = -1
+        gained: dict[int, int] = {}
+        for c in new_cores:
+            for r in nb_of[int(c)]:
+                r = int(r)
+                if r == int(c) or self._core[r]:
+                    continue
+                g = int(mirror.gids[c])
+                if r not in gained or g < gained[r][0]:
+                    gained[r] = (g, int(c))
+        for r, (g, c) in gained.items():
+            cur = self._anchor[r]
+            if cur < 0 or g < mirror.gids[cur]:
+                self._anchor[r] = c
+        # inserted non-core rows need a full scan of their own ball
+        for r, nb in zip(rows, nbs):
+            if not self._core[r]:
+                self._reanchor(int(r), nb, mirror)
+        self._derive_answer(mirror)
+
+    def _repair_erase(self, mirror: Mirror, rows: np.ndarray) -> None:
+        self.note_repair()
+        was_core = self._core.copy()
+        nbs = self._balls(mirror, mirror.pts[rows])  # post-update live set
+
+        # 1. broken components: any component that lost a core member,
+        #    found before counts move the flips
+        broken = set()
+        for r in rows:
+            if was_core[r]:
+                broken.add(self._uf.find(int(self._comp[r])))
+
+        # 2. neighbor counts drop by the killed multiplicity
+        sub = np.zeros(len(mirror.gids), dtype=np.int64)
+        for nb in nbs:
+            sub[nb] += 1
+        touched = np.flatnonzero(sub)
+        self._ncount[touched] -= sub[touched]
+
+        # 3. core flips (erase only lowers counts: flips are off-only)
+        self._core[touched] = self._ncount[touched] >= self.min_pts
+        flip_off = touched[was_core[touched] & ~self._core[touched]]
+        for r in flip_off:
+            broken.add(self._uf.find(int(self._comp[r])))
+            self._comp[r] = -1
+        self._core[rows] = False
+        self._comp[rows] = -1
+
+        # 4. re-cluster the surviving cores of broken components from
+        #    fresh singletons; unbroken components kept no secrets —
+        #    same members, same distances — and carry over as-is
+        live_cores = mirror.live_rows()
+        live_cores = live_cores[self._core[live_cores]]
+        if broken and len(live_cores):
+            roots = self._roots(self._comp[live_cores])
+            affected = live_cores[np.isin(
+                roots, np.fromiter(broken, dtype=np.int64))]
+        else:
+            affected = live_cores[:0]
+        aff_nbs = self._balls(mirror, mirror.pts[affected])
+        self._recluster(affected, aff_nbs)
+
+        # 5. anchors: stale only where the anchor itself died or
+        #    un-cored; flipped-off rows become borders and need their own
+        dead_mask = np.zeros(len(self._comp), dtype=bool)
+        dead_mask[rows] = True
+        dead_mask[flip_off] = True
+        live = mirror.live_rows()
+        borders = live[~self._core[live]]
+        a = self._anchor[borders]
+        stale = borders[(a >= 0) & dead_mask[a]]
+        need = np.unique(np.concatenate([flip_off, stale]))
+        need = need[mirror.alive[need]]
+        need_nbs = self._balls(mirror, mirror.pts[need])
+        for r, nb in zip(need, need_nbs):
+            self._reanchor(int(r), nb, mirror)
+        self._derive_answer(mirror)
