@@ -45,6 +45,10 @@ class BDLTree:
         Split rule for the underlying static trees ('object'/'spatial').
     leaf_size:
         Leaf capacity of the static trees.
+    build_engine:
+        Construction engine for the static trees ('batched'/'recursive',
+        see :mod:`repro.kdtree.build`); None uses the process default.
+        Every rebuild a mutation triggers goes through it.
     """
 
     def __init__(
@@ -53,6 +57,7 @@ class BDLTree:
         buffer_size: int = 1024,
         split: str = OBJECT_MEDIAN,
         leaf_size: int = 16,
+        build_engine: str | None = None,
     ):
         if buffer_size < 1:
             raise ValueError("buffer_size must be >= 1")
@@ -60,6 +65,7 @@ class BDLTree:
         self.X = buffer_size
         self.split = split
         self.leaf_size = leaf_size
+        self.build_engine = build_engine
 
         # buffer tree contents (kept as arrays; X is small)
         self.buf_pts = np.empty((0, dim), dtype=np.float64)
@@ -89,6 +95,7 @@ class BDLTree:
         buf_pts: np.ndarray,
         buf_gids: np.ndarray,
         trees: list[KDTree | None],
+        build_engine: str | None = None,
     ) -> "BDLTree":
         """Reassemble a BDL-tree around existing state (no copies, no build).
 
@@ -102,6 +109,7 @@ class BDLTree:
         self.X = buffer_size
         self.split = split
         self.leaf_size = leaf_size
+        self.build_engine = build_engine
         self.buf_pts = buf_pts
         self.buf_gids = buf_gids
         self.trees = trees
@@ -238,6 +246,7 @@ class BDLTree:
                     split=self.split,
                     leaf_size=self.leaf_size,
                     gids=src_g[lo:hi],
+                    engine=self.build_engine,
                 )
 
         if len(plans) > 1:

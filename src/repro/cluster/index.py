@@ -75,6 +75,9 @@ class ShardedIndex:
         ``max(skew_threshold * mean_size, rebalance_min)``.
     rebalance_min:
         Absolute size floor below which shards are never split.
+    build_engine:
+        Construction engine for the per-shard trees
+        ('batched'/'recursive'); None uses the process default.
     registry:
         Metrics registry to publish shard gauges / pruning histograms
         on (a private one is created when omitted).
@@ -90,6 +93,7 @@ class ShardedIndex:
         leaf_size: int = 16,
         skew_threshold: float = 4.0,
         rebalance_min: int = 1024,
+        build_engine: str | None = None,
         registry: MetricsRegistry | None = None,
     ):
         pts = as_array(points)
@@ -101,6 +105,7 @@ class ShardedIndex:
         self.dim = d
         self.buffer_size = buffer_size
         self.leaf_size = leaf_size
+        self.build_engine = build_engine
         self.skew_threshold = float(skew_threshold)
         self.rebalance_min = int(rebalance_min)
         self.part = HilbertPartitioner(pts, n_shards, bits=bits)
@@ -151,6 +156,7 @@ class ShardedIndex:
                             gids[owner == s],
                             buffer_size=buffer_size,
                             leaf_size=leaf_size,
+                            build_engine=build_engine,
                         )
                     )
                     for s in range(S)
@@ -572,6 +578,7 @@ class ShardedIndex:
             gids[sel],
             buffer_size=self.buffer_size,
             leaf_size=self.leaf_size,
+            build_engine=self.build_engine,
         )
         self.shards[s : s + 1] = [mk(left), mk(~left)]
         self._m_rebalances.inc()

@@ -12,6 +12,12 @@ import numpy as np
 
 from ..core.points import as_array
 from .facets3d import FacetHull3D, build_initial_tetrahedron
+from .filter import (
+    at_extremes,
+    at_filter,
+    default_hull_prefilter,
+    set_default_hull_prefilter,
+)
 from .hull2d import divide_conquer_2d, quickhull2d_parallel, quickhull2d_seq
 from .hull3d import (
     divide_conquer_3d,
@@ -35,8 +41,12 @@ from .measures import (
 __all__ = [
     "FacetHull3D",
     "HullStats",
+    "at_extremes",
+    "at_filter",
     "build_initial_tetrahedron",
     "convex_hull",
+    "default_hull_prefilter",
+    "set_default_hull_prefilter",
     "divide_conquer_2d",
     "divide_conquer_3d",
     "hull3d_facets",

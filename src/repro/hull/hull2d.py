@@ -23,6 +23,7 @@ from ..core.points import as_array
 from ..obs.span import span
 from ..parlay.scheduler import get_scheduler
 from ..parlay.workdepth import charge
+from .filter import at_filter, resolve_prefilter
 
 __all__ = ["quickhull2d_seq", "quickhull2d_parallel", "divide_conquer_2d"]
 
@@ -43,13 +44,21 @@ def _qh_rec(
     idx: np.ndarray,
     out: list,
     parallel: bool,
+    cr: np.ndarray | None = None,
 ) -> None:
     """Hull points strictly left of a->b among ``idx``, appended between
-    a and b (a exclusive, b exclusive), in ccw order, into ``out``."""
+    a and b (a exclusive, b exclusive), in ccw order, into ``out``.
+
+    ``cr`` optionally carries the cross products of ``pts[idx]`` against
+    a->b, already computed by the caller's partition pass — the values
+    are bitwise-identical to recomputing them, so passing them down
+    saves one O(|idx|) pass per recursion level.
+    """
     if len(idx) == 0:
         return
     a, b = pts[ia], pts[ib]
-    cr = _cross_batch(pts, a, b, idx)
+    if cr is None:
+        cr = _cross_batch(pts, a, b, idx)
     # furthest point from the line a-b (max cross = max distance)
     fi = int(np.argmax(cr))
     charge(max(len(idx), 1))
@@ -57,9 +66,21 @@ def _qh_rec(
         return
     ic = int(idx[fi])
     c = pts[ic]
-    # candidates for (a, c): strictly left of a->c; similarly (c, b)
-    left_ac = idx[_cross_batch(pts, a, c, idx) > 0]
-    left_cb = idx[_cross_batch(pts, c, b, idx) > 0]
+    # fused partition kernel: one gather of pts[idx], both child edges'
+    # cross products in the same pass (same expressions as _cross_batch,
+    # so the children receive bitwise-identical values)
+    charge(max(len(idx), 1))
+    p = pts[idx]
+    px = p[:, 0]
+    py = p[:, 1]
+    cr_ac = (c[0] - a[0]) * (py - a[1]) - (c[1] - a[1]) * (px - a[0])
+    cr_cb = (b[0] - c[0]) * (py - c[1]) - (b[1] - c[1]) * (px - c[0])
+    mask_ac = cr_ac > 0
+    mask_cb = cr_cb > 0
+    left_ac = idx[mask_ac]
+    left_cb = idx[mask_cb]
+    cr_ac = cr_ac[mask_ac]
+    cr_cb = cr_cb[mask_cb]
 
     if parallel and len(idx) > _PAR_CUTOFF:
         sched = get_scheduler()
@@ -67,20 +88,20 @@ def _qh_rec(
         out2: list = []
         sched.parallel_do(
             [
-                lambda: _qh_rec(pts, ia, ic, left_ac, out1, parallel),
-                lambda: _qh_rec(pts, ic, ib, left_cb, out2, parallel),
+                lambda: _qh_rec(pts, ia, ic, left_ac, out1, parallel, cr_ac),
+                lambda: _qh_rec(pts, ic, ib, left_cb, out2, parallel, cr_cb),
             ]
         )
         out.extend(out1)
         out.append(ic)
         out.extend(out2)
     else:
-        _qh_rec(pts, ia, ic, left_ac, out, parallel)
+        _qh_rec(pts, ia, ic, left_ac, out, parallel, cr_ac)
         out.append(ic)
-        _qh_rec(pts, ic, ib, left_cb, out, parallel)
+        _qh_rec(pts, ic, ib, left_cb, out, parallel, cr_cb)
 
 
-def _quickhull2d(points, parallel: bool) -> np.ndarray:
+def _quickhull2d(points, parallel: bool, prefilter: bool | None = None) -> np.ndarray:
     pts = as_array(points)
     if pts.shape[1] != 2:
         raise ValueError("quickhull2d requires 2-dimensional points")
@@ -89,6 +110,17 @@ def _quickhull2d(points, parallel: bool) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     if n == 1:
         return np.zeros(1, dtype=np.int64)
+
+    # Akl–Toussaint filter-first: eliminate certainly-interior points
+    # before quickhull sees them.  Kept points preserve their relative
+    # order and every possible hull point survives, so the result is
+    # bitwise-identical to the unfiltered run (only cheaper).
+    if resolve_prefilter(prefilter) and n >= 3:
+        keep = at_filter(pts)
+        if not keep.all():
+            sub = np.flatnonzero(keep)
+            local = _quickhull2d(pts[sub], parallel, prefilter=False)
+            return sub[local]
 
     with span("hull2d.partition", batch=n):
         # extreme points by lexicographic order (breaks ties deterministically)
@@ -102,6 +134,7 @@ def _quickhull2d(points, parallel: bool) -> np.ndarray:
         a, b = pts[il], pts[ir]
         cr = _cross_batch(pts, a, b, idx)
         upper = idx[cr > 0]
+        cr_up = cr[cr > 0]  # reused by the upper chain's root call
         lower = idx[cr < 0]
 
     out_up: list = []
@@ -110,12 +143,12 @@ def _quickhull2d(points, parallel: bool) -> np.ndarray:
         if parallel and n > _PAR_CUTOFF:
             get_scheduler().parallel_do(
                 [
-                    lambda: _qh_rec(pts, il, ir, upper, out_up, True),
+                    lambda: _qh_rec(pts, il, ir, upper, out_up, True, cr_up),
                     lambda: _qh_rec(pts, ir, il, lower, out_lo, True),
                 ]
             )
         else:
-            _qh_rec(pts, il, ir, upper, out_up, parallel)
+            _qh_rec(pts, il, ir, upper, out_up, parallel, cr_up)
             _qh_rec(pts, ir, il, lower, out_lo, parallel)
     # _qh_rec(a, b, ...) emits the chain of points left of a->b in a->b
     # order; out_up runs il->ir above the line, out_lo runs ir->il below.
@@ -125,14 +158,19 @@ def _quickhull2d(points, parallel: bool) -> np.ndarray:
     return np.array(hull, dtype=np.int64)
 
 
-def quickhull2d_seq(points) -> np.ndarray:
-    """Optimized sequential quickhull (the CGAL/Qhull-role baseline)."""
-    return _quickhull2d(points, parallel=False)
+def quickhull2d_seq(points, prefilter: bool | None = None) -> np.ndarray:
+    """Optimized sequential quickhull (the CGAL/Qhull-role baseline).
+
+    ``prefilter`` toggles the Akl–Toussaint interior-elimination pass
+    (default ``REPRO_HULL_FILTER``, on); the result is identical either
+    way.
+    """
+    return _quickhull2d(points, parallel=False, prefilter=prefilter)
 
 
-def quickhull2d_parallel(points) -> np.ndarray:
+def quickhull2d_parallel(points, prefilter: bool | None = None) -> np.ndarray:
     """PBBS-style recursive parallel quickhull for R^2."""
-    return _quickhull2d(points, parallel=True)
+    return _quickhull2d(points, parallel=True, prefilter=prefilter)
 
 
 def divide_conquer_2d(points, c: int = 2, nblocks: int | None = None) -> np.ndarray:
@@ -156,9 +194,14 @@ def divide_conquer_2d(points, c: int = 2, nblocks: int | None = None) -> np.ndar
 
     bounds = [(n * b // nblocks, n * (b + 1) // nblocks) for b in range(nblocks)]
 
+    # The block decomposition IS this algorithm's interior filter (each
+    # block's hull discards its interior before the final merge), so the
+    # Akl–Toussaint prefilter stays off here: running it per block would
+    # shrink the per-block work the paper's §3 cost analysis is about
+    # without touching the answer.
     def solve_block(b: int):
         lo, hi = bounds[b]
-        sub = quickhull2d_seq(pts[lo:hi])
+        sub = quickhull2d_seq(pts[lo:hi], prefilter=False)
         return sub + lo
 
     with span("hull2d.blocks", batch=nblocks):
@@ -167,5 +210,5 @@ def divide_conquer_2d(points, c: int = 2, nblocks: int | None = None) -> np.ndar
         )
         cand = np.concatenate(subs)
     with span("hull2d.final", batch=len(cand)):
-        final_local = quickhull2d_parallel(pts[cand])
+        final_local = quickhull2d_parallel(pts[cand], prefilter=False)
     return cand[final_local]

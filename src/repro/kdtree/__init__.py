@@ -13,6 +13,13 @@ from .batch import (
     resolve_engine,
     set_default_engine,
 )
+from .build import (
+    BUILD_ENGINES,
+    build_batched,
+    default_build_engine,
+    resolve_build_engine,
+    set_default_build_engine,
+)
 from .delete import erase
 from .knn import extract_knn_results, knn, knn_into, knn_single
 from .knnbuffer import KNNBuffer
@@ -26,6 +33,7 @@ from .range_search import (
 from .tree import KDTree, OBJECT_MEDIAN, SPATIAL_MEDIAN, hyperceiling
 
 __all__ = [
+    "BUILD_ENGINES",
     "BatchKNNBuffers",
     "KDTree",
     "KNNBuffer",
@@ -34,9 +42,13 @@ __all__ = [
     "SPATIAL_MEDIAN",
     "batched_knn",
     "batched_knn_into",
+    "build_batched",
+    "default_build_engine",
     "default_engine",
     "erase",
+    "resolve_build_engine",
     "resolve_engine",
+    "set_default_build_engine",
     "set_default_engine",
     "extract_knn_results",
     "hyperceiling",

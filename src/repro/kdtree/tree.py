@@ -23,6 +23,7 @@ from ..core.points import as_array
 from ..obs.span import span
 from ..parlay.scheduler import get_scheduler
 from ..parlay.workdepth import charge, fork_costs
+from .build import build_batched, resolve_build_engine
 
 __all__ = ["KDTree", "hyperceiling", "SPATIAL_MEDIAN", "OBJECT_MEDIAN"]
 
@@ -52,9 +53,17 @@ class KDTree:
         ``'object'`` (object median) or ``'spatial'`` (spatial median).
     leaf_size:
         Target maximum points per leaf.
+    engine:
+        Construction engine: ``'batched'`` (level-at-a-time vectorized
+        build, see :mod:`repro.kdtree.build`) or ``'recursive'`` (the
+        per-node recursion below).  Defaults to ``REPRO_BUILD_ENGINE``.
+        Both produce bitwise-identical trees and charges; spatial-median
+        trees have data-dependent structure and always build via the
+        recursive path.
     """
 
-    def __init__(self, points, split: str = OBJECT_MEDIAN, leaf_size: int = 16, gids=None):
+    def __init__(self, points, split: str = OBJECT_MEDIAN, leaf_size: int = 16, gids=None,
+                 engine: str | None = None):
         pts = as_array(points)
         if split not in (OBJECT_MEDIAN, SPATIAL_MEDIAN):
             raise ValueError(f"unknown split rule {split!r}")
@@ -71,6 +80,7 @@ class KDTree:
                 raise ValueError("gids length mismatch")
         self.split = split
         self.leaf_size = leaf_size
+        self.build_engine = resolve_build_engine(engine)
         n, d = pts.shape
         self.n_points = n
         self.dim = d
@@ -106,8 +116,12 @@ class KDTree:
         self.version = 0
 
         if n > 0:
-            with span("kdtree.build", batch=n, split=split):
-                self._build()
+            with span("kdtree.build", batch=n, split=split,
+                      engine=self.build_engine):
+                if self.build_engine == "batched" and split == OBJECT_MEDIAN:
+                    build_batched(self)
+                else:
+                    self._build()
 
     # ------------------------------------------------------------------
     # Construction (paper Algorithm 1)
@@ -171,8 +185,10 @@ class KDTree:
 
             ``frontier_out`` collects (node, lo, mid, hi) for base-case
             internal nodes of a TOP build, so the caller can wire their
-            children to the roots of the bottom subtrees.  Appends from
-            parallel siblings are safe (list.append is atomic).
+            children to the roots of the bottom subtrees.  Each forked
+            task collects into its own local list, merged in task order
+            after the join — frontier order (and hence vEB slot
+            assignment) is deterministic on every backend.
             """
             m = hi - lo
             if l == 1:
@@ -219,13 +235,20 @@ class KDTree:
                     ndim = (cdim + lt) % self.dim
                     tasks.append((clo, chi, cidx, ndim, lb, top))
 
-            thunks = [(lambda a=a: build_rec(*a, frontier_out)) for a in tasks]
+            def run_task(a):
+                local: list = []
+                build_rec(*a, local)
+                return local
+
+            thunks = [(lambda a=a: run_task(a)) for a in tasks]
             if m > _SEQ_CUTOFF and len(tasks) > 1:
-                sched.parallel_do(thunks)
+                locals_by_task = sched.parallel_do(thunks)
             else:
                 # inline execution, parallel cost composition (the
                 # subtree builds are independent either way)
-                fork_costs(thunks)
+                locals_by_task = fork_costs(thunks)
+            for local in locals_by_task:
+                frontier_out.extend(local)
 
         build_rec(0, self.n_points, 0, 0, self.levels, False, [])
 

@@ -59,9 +59,10 @@ def orthant_scan_once(pts: np.ndarray, ball: Ball) -> tuple[bool, np.ndarray]:
         best_i = np.full(n_orth, -1, dtype=np.int64)
         idx = np.flatnonzero(out) + lo
         np.maximum.at(best_d, oid, dist)
-        for o, i, dd in zip(oid, idx, dist):
-            if dd == best_d[o] and best_i[o] < 0:
-                best_i[o] = i
+        # earliest index achieving each orthant's max: reversed fancy
+        # assignment makes the first (lowest idx) candidate win
+        hit = np.flatnonzero(dist == best_d[oid])[::-1]
+        best_i[oid[hit]] = idx[hit]
         return best_d, best_i
 
     results = sched.parallel_do([(lambda b=b: scan_block(b)) for b in range(len(blocks))])

@@ -25,6 +25,12 @@ def _mtf_mb(order: list[int], end: int, support: list[int], pts: np.ndarray, mtf
     """Ball of pts[order[:end]] with ``support`` forced on the boundary.
 
     Recursion depth is bounded by d+1 (only grows the support).
+
+    The containment scan is batched: the ball only changes at a
+    violation, so every check between violations tests the same ball —
+    one vectorized distance reduction per round finds the earliest
+    violator, replacing the per-point scalar loop.  The violator
+    sequence (and the per-point charges) are those of the scalar scan.
     """
     d = pts.shape[1]
     if support:
@@ -35,16 +41,28 @@ def _mtf_mb(order: list[int], end: int, support: list[int], pts: np.ndarray, mtf
         return b
     i = 0
     while i < end:
-        pid = order[i]
-        p = pts[pid]
-        charge(1, 1)
-        if b.radius < 0 or not b.contains(p, EPS):
-            b = _mtf_mb(order, i, support + [pid], pts, mtf)
-            if mtf and i > 0:
-                # move the violator to the front so later passes see it
-                # early (reduces future violations)
-                order.insert(0, order.pop(i))
-        i += 1
+        if b.radius < 0:
+            # the empty ball contains nothing: the next point violates
+            charge(1, 1)
+            j = i
+        else:
+            tail = np.asarray(order[i:end], dtype=np.int64)
+            diff = pts[tail] - b.center
+            dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            out = dist > b.radius * (1.0 + EPS) + 1e-300
+            if not out.any():
+                charge(end - i, end - i)
+                return b
+            k = int(np.argmax(out))
+            charge(k + 1, k + 1)
+            j = i + k
+        pid = order[j]
+        b = _mtf_mb(order, j, support + [pid], pts, mtf)
+        if mtf and j > 0:
+            # move the violator to the front so later passes see it
+            # early (reduces future violations)
+            order.insert(0, order.pop(j))
+        i = j + 1
     return b
 
 

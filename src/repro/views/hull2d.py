@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..hull.filter import at_filter
 from ..hull.incremental2d import randinc_hull2d
 from ..parlay.workdepth import charge
 from .base import MaterializedView, Mirror
@@ -108,6 +109,15 @@ class HullView(MaterializedView):
         if pts.size and pts.shape[1] != 2:
             raise ValueError("hull view requires 2-dimensional points")
         p, g = _dedup_lex(pts.reshape(-1, 2), gids)
+        if len(p) >= 3:
+            # Akl–Toussaint filter-first: certainly-interior coords can
+            # never be strict-hull vertices, so dropping them leaves the
+            # normalizing chain's answer bitwise-identical (the kept
+            # rows stay lex-sorted) while the scalar chain walks a
+            # hull-sized input instead of the whole live set
+            keep = at_filter(p)
+            if not keep.all():
+                p, g = p[keep], g[keep]
         self._set_answer(p, g)
 
     # ------------------------------------------------------------------

@@ -2,15 +2,21 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 from scipy.spatial import ConvexHull
 
 from repro.generators import in_sphere, on_cube, on_sphere, uniform
 from repro.hull import (
+    at_extremes,
+    at_filter,
+    default_hull_prefilter,
     divide_conquer_2d,
     quickhull2d_parallel,
     quickhull2d_seq,
     randinc_hull2d,
     reservation_quickhull2d,
+    set_default_hull_prefilter,
 )
 
 
@@ -94,6 +100,108 @@ class TestEdgeCases:
         pts = np.column_stack([np.arange(10.0), np.arange(10.0)])
         with pytest.raises(ValueError):
             fn(pts)
+
+
+# ----------------------------------------------------------------------
+# Akl–Toussaint filter-first (repro.hull.filter)
+# ----------------------------------------------------------------------
+_LIM = 1 << 20  # integer grid: every cross product below is exact
+
+
+def _grid(min_n, max_n, lim=_LIM):
+    coord = st.integers(-lim, lim)
+    return st.lists(
+        st.tuples(coord, coord), min_size=min_n, max_size=max_n
+    ).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+def _assert_filter_transparent(pts):
+    """Filtered hull bitwise-equal to unfiltered, for both variants."""
+    for fn in (quickhull2d_seq, quickhull2d_parallel):
+        unf = fn(pts, prefilter=False)
+        fil = fn(pts, prefilter=True)
+        assert np.array_equal(unf, fil), (fn.__name__, pts[:8])
+
+
+class TestAklToussaintFilter:
+    def test_default_is_on(self):
+        assert default_hull_prefilter() is True
+        set_default_hull_prefilter(False)
+        try:
+            assert default_hull_prefilter() is False
+        finally:
+            set_default_hull_prefilter(True)
+
+    def test_filter_actually_eliminates(self):
+        pts = uniform(3000, 2, seed=3).coords
+        keep = at_filter(pts)
+        # interior-heavy input: the vast majority must be rejected
+        assert keep.sum() < len(pts) // 2
+        _assert_filter_transparent(pts)
+
+    @pytest.mark.parametrize(
+        "make", [uniform, in_sphere, on_sphere, on_cube], ids=["U", "IS", "OS", "OC"]
+    )
+    def test_transparent_on_generators(self, make):
+        _assert_filter_transparent(make(3000, 2, seed=7).coords)
+
+    @given(pts=_grid(1, 120))
+    @settings(max_examples=80, deadline=None, derandomize=True)
+    def test_never_discards_a_hull_vertex(self, pts):
+        # the property the whole optimization rests on: every vertex of
+        # the true hull survives the filter, so the filtered result is
+        # bitwise-identical — checked on exact integer-grid inputs
+        _assert_filter_transparent(pts)
+        if len(pts) >= 3:
+            keep = at_filter(pts)
+            assert keep[at_extremes(pts)].all()
+            hull = quickhull2d_seq(pts, prefilter=False)
+            assert keep[hull].all()
+
+    @given(pts=_grid(3, 80, lim=3))
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_duplicate_heavy(self, pts):
+        # a 7x7 grid forces massive coordinate duplication: duplicates
+        # of hull vertices sit exactly on the extreme polygon's boundary
+        # and must never be eliminated
+        _assert_filter_transparent(pts)
+
+    @given(
+        base=st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+        step=st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        ts=st.lists(st.integers(-50, 50), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_collinear_inputs(self, base, step, ts):
+        pts = np.array(
+            [[base[0] + t * step[0], base[1] + t * step[1]] for t in ts],
+            dtype=np.float64,
+        )
+        # degenerate extreme polygon (<3 distinct extremes) keeps all
+        _assert_filter_transparent(pts)
+        assert at_filter(pts).all()
+
+    def test_all_interior_degenerate(self):
+        # every non-vertex point strictly inside a triangle is dropped;
+        # the triangle itself survives
+        rng = np.random.default_rng(5)
+        tri = np.array([[-1000.0, -1000], [1000, -1000], [0, 1000]])
+        w = rng.dirichlet([2.0, 2.0, 2.0], size=500)
+        pts = np.vstack([tri, w @ tri])
+        keep = at_filter(pts)
+        assert keep[:3].all()
+        assert keep[3:].sum() < 50
+        _assert_filter_transparent(pts)
+
+    def test_tiny_and_identical_inputs(self):
+        for pts in (
+            np.zeros((1, 2)),
+            np.zeros((2, 2)),
+            np.zeros((5, 2)),  # all points identical
+            np.array([[1.0, 2], [3, 4]]),
+        ):
+            assert at_filter(pts).all()
+            _assert_filter_transparent(pts)
 
 
 class TestReservationBehavior:

@@ -15,14 +15,19 @@ from hypothesis.extra.numpy import arrays
 from repro.bdl import BDLTree
 from repro.clustering import dbscan
 from repro.kdtree import (
+    BUILD_ENGINES,
     BatchKNNBuffers,
     KDTree,
     KNNBuffer,
     all_nearest_neighbors,
+    default_build_engine,
     default_engine,
+    resolve_build_engine,
     resolve_engine,
+    set_default_build_engine,
     set_default_engine,
 )
+from repro.kdtree.tree import SPATIAL_MEDIAN
 from repro.kdtree.knn import knn
 from repro.kdtree.range_search import range_query_batch, range_query_ball_batch
 from repro.parlay import tracker
@@ -285,6 +290,157 @@ class TestBatchBuffers:
             BatchKNNBuffers(4, 0)
 
 
+# ----------------------------------------------------------------------
+# construction engines (repro.kdtree.build)
+# ----------------------------------------------------------------------
+_TREE_FIELDS = (
+    "used", "is_leaf", "split_dim", "split_val", "left", "right",
+    "start", "end", "live", "perm", "box_lo", "box_hi", "gids",
+)
+
+
+def assert_same_tree(tr, tb, label=""):
+    for f in _TREE_FIELDS:
+        a, b = getattr(tr, f), getattr(tb, f)
+        assert np.array_equal(a, b), f"{label} field {f} differs"
+    assert tr.levels == tb.levels
+
+
+class TestBuildEngineSelection:
+    def test_default_is_batched(self):
+        assert default_build_engine() == "batched"
+        assert resolve_build_engine(None) == "batched"
+        assert BUILD_ENGINES == ("batched", "recursive")
+
+    def test_resolve_explicit(self):
+        assert resolve_build_engine("recursive") == "recursive"
+        assert resolve_build_engine("batched") == "batched"
+
+    def test_bad_env_default_rejected(self):
+        import repro.kdtree.build as B
+
+        old = B._default_build_engine
+        B._default_build_engine = "warp"
+        try:
+            with pytest.raises(ValueError, match="REPRO_BUILD_ENGINE"):
+                resolve_build_engine(None)
+        finally:
+            B._default_build_engine = old
+
+    def test_unknown_engine_rejected(self, rng):
+        with pytest.raises(ValueError):
+            resolve_build_engine("vectorized")
+        with pytest.raises(ValueError):
+            set_default_build_engine("gpu")
+        with pytest.raises(ValueError):
+            KDTree(rng.uniform(size=(16, 2)), engine="nope")
+
+    def test_set_default_round_trip(self, rng):
+        set_default_build_engine("recursive")
+        try:
+            assert resolve_build_engine(None) == "recursive"
+            assert KDTree(rng.uniform(size=(8, 2))).build_engine == "recursive"
+        finally:
+            set_default_build_engine("batched")
+
+    def test_spatial_median_always_valid(self, rng):
+        # spatial-median structure is data-dependent; both engine names
+        # accept it (batched falls back to the recursive path) and the
+        # resulting trees are identical
+        pts = rng.uniform(0, 10, size=(300, 3))
+        tb = KDTree(pts, split=SPATIAL_MEDIAN, engine="batched")
+        tr = KDTree(pts, split=SPATIAL_MEDIAN, engine="recursive")
+        assert_same_tree(tr, tb, "spatial")
+        tb.check_invariants()
+
+
+class TestBuildEngineEquivalence:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 7])
+    @pytest.mark.parametrize("leaf_size", [1, 4, 16])
+    def test_node_arrays_and_charges_match(self, dim, leaf_size, rng):
+        for n in (1, 2, 3, 17, 100, 1000):
+            pts = rng.uniform(0, 100, size=(n, dim))
+            tr, cr = costed(KDTree, pts, leaf_size=leaf_size, engine="recursive")
+            tb, cb = costed(KDTree, pts, leaf_size=leaf_size, engine="batched")
+            label = f"build n={n} d={dim} ls={leaf_size}"
+            assert_same_tree(tr, tb, label)
+            # the batched engine replays the recursion's accounting in
+            # the same order with the same float arithmetic: exact
+            assert cr.work == cb.work, label
+            assert cr.depth == cb.depth, label
+            tb.check_invariants()
+
+    def test_above_parallel_cutoff(self, rng):
+        # n > _SEQ_CUTOFF exercises the parallel_do cost composition
+        pts = rng.uniform(0, 100, size=(6000, 2))
+        tr, cr = costed(KDTree, pts, engine="recursive")
+        tb, cb = costed(KDTree, pts, engine="batched")
+        assert_same_tree(tr, tb, "n=6000")
+        assert cr.work == cb.work and cr.depth == cb.depth
+
+    def test_duplicate_heavy_coordinates(self, rng):
+        # argpartition tie-breaking must match the 1-D per-node call
+        pts = rng.integers(0, 4, size=(2000, 2)).astype(np.float64)
+        tr = KDTree(pts, engine="recursive")
+        tb = KDTree(pts, engine="batched")
+        assert_same_tree(tr, tb, "duplicates")
+
+    def test_custom_gids_preserved(self, rng):
+        pts = rng.uniform(size=(200, 3))
+        gids = rng.permutation(10_000)[:200].astype(np.int64)
+        tr = KDTree(pts, gids=gids.copy(), engine="recursive")
+        tb = KDTree(pts, gids=gids.copy(), engine="batched")
+        assert_same_tree(tr, tb, "gids")
+
+    def test_queries_identical_after_build(self, rng):
+        pts = rng.uniform(0, 10, size=(1500, 3))
+        qs = rng.uniform(0, 10, size=(200, 3))
+        tr = KDTree(pts, engine="recursive")
+        tb = KDTree(pts, engine="batched")
+        for qengine in ("recursive", "batched"):
+            d1, i1 = tr.knn(qs, 5, engine=qengine)
+            d2, i2 = tb.knn(qs, 5, engine=qengine)
+            assert np.array_equal(d1, d2) and np.array_equal(i1, i2)
+
+    def test_erase_then_equal(self, rng):
+        pts = rng.uniform(0, 10, size=(800, 2))
+        tr = KDTree(pts.copy(), engine="recursive")
+        tb = KDTree(pts.copy(), engine="batched")
+        assert tr.erase(pts[::3]) == tb.erase(pts[::3])
+        assert np.array_equal(tr.alive, tb.alive)
+        assert np.array_equal(tr.live, tb.live)
+
+    def test_bdl_rebuilds_through_engine(self, rng):
+        # every unit conversion / under-half reinsert rebuild goes
+        # through the configured engine and lands on identical trees
+        pts = rng.uniform(0, 10, size=(1500, 3))
+        trees = {}
+        costs = {}
+        for eng in BUILD_ENGINES:
+            tracker.reset()
+            b = BDLTree(3, buffer_size=128, build_engine=eng)
+            for i in range(0, 1500, 300):
+                b.insert(pts[i : i + 300])
+            b.erase(pts[50:400])
+            b.insert(pts[50:200])
+            costs[eng] = tracker.reset()
+            trees[eng] = b
+        br, bb = trees["recursive"], trees["batched"]
+        assert br.bitmask == bb.bitmask
+        for tr, tb in zip(br.trees, bb.trees):
+            assert (tr is None) == (tb is None)
+            if tr is not None:
+                assert_same_tree(tr, tb, "bdl static tree")
+        assert costs["recursive"].work == costs["batched"].work
+        assert np.isclose(
+            costs["recursive"].depth, costs["batched"].depth, rtol=1e-9
+        )
+        qs = rng.uniform(0, 10, size=(100, 3))
+        d1, g1 = br.knn(qs, 4)
+        d2, g2 = bb.knn(qs, 4)
+        assert np.array_equal(d1, d2) and np.array_equal(g1, g2)
+
+
 finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64)
 
 
@@ -321,3 +477,13 @@ class TestEngineProperties:
         for a, b in zip(rr, rb):
             assert np.array_equal(a, b)
         assert_same_cost(crr, crb, "prop range")
+
+    @given(data=st.data(), dim=st.sampled_from([1, 2, 3, 5]))
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_build_engine_equivalence(self, data, dim):
+        pts = data.draw(_points(dim, 1, 120))
+        leaf_size = data.draw(st.integers(1, 8))
+        tr, cr = costed(KDTree, pts.copy(), leaf_size=leaf_size, engine="recursive")
+        tb, cb = costed(KDTree, pts.copy(), leaf_size=leaf_size, engine="batched")
+        assert_same_tree(tr, tb, "prop build")
+        assert cr.work == cb.work and cr.depth == cb.depth

@@ -270,6 +270,69 @@ class TestCrossBackendEquivalence:
 
 
 # ----------------------------------------------------------------------
+# construction engines across backends
+# ----------------------------------------------------------------------
+_TREE_FIELDS = (
+    "used", "is_leaf", "split_dim", "split_val", "left", "right",
+    "start", "end", "live", "perm", "box_lo", "box_hi", "gids",
+)
+
+
+def _assert_same_tree(ta, tb, label=""):
+    for f in _TREE_FIELDS:
+        assert np.array_equal(getattr(ta, f), getattr(tb, f)), \
+            f"{label} field {f} differs"
+
+
+class TestBuildEngineAcrossBackends:
+    def test_kdtree_build_identical_on_every_backend(self):
+        """Both engines, all backends: one bitwise-identical tree and
+        one identical cost — construction forks above the grain cutoff,
+        so n must exceed it to exercise the parallel composition."""
+        pts = _points(6000, 3, seed=11)
+        built = {}
+        for backend in BACKENDS:
+            for engine in ("recursive", "batched"):
+                with use_backend(backend, 4):
+                    tracker.reset()
+                    t = KDTree(pts.copy(), engine=engine)
+                    built[backend, engine] = (t, tracker.reset())
+        ref_t, ref_c = built["sequential", "recursive"]
+        for key, (t, c) in built.items():
+            _assert_same_tree(ref_t, t, str(key))
+            assert c.work == ref_c.work, key
+            assert np.isclose(c.depth, ref_c.depth, rtol=1e-9), key
+
+    def test_bdl_insert_erase_rebuilds_across_backends(self):
+        """The log-structure's rebuild cascade (unit conversions plus
+        under-half-capacity reinserts) lands on the same static trees
+        for every (engine, backend) combination."""
+        pts = _points(2000, 2, seed=23)
+        outcomes = {}
+        for backend in BACKENDS:
+            for engine in ("recursive", "batched"):
+                with use_backend(backend, 2):
+                    b = BDLTree(2, buffer_size=256, build_engine=engine)
+                    for i in range(0, 2000, 500):
+                        b.insert(pts[i : i + 500])
+                    b.erase(pts[::3])
+                    b.insert(pts[:100])
+                    outcomes[backend, engine] = b
+        ref = outcomes["sequential", "recursive"]
+        qs = _points(60, 2, seed=24)
+        dr, gr = ref.knn(qs, 4, engine="batched")
+        for key, b in outcomes.items():
+            assert b.bitmask == ref.bitmask, key
+            for ta, tb in zip(ref.trees, b.trees):
+                assert (ta is None) == (tb is None)
+                if ta is not None:
+                    _assert_same_tree(ta, tb, str(key))
+                    assert np.array_equal(ta.alive, tb.alive)
+            d2, g2 = b.knn(qs, 4, engine="batched")
+            assert np.array_equal(dr, d2) and np.array_equal(gr, g2)
+
+
+# ----------------------------------------------------------------------
 # observability across the process boundary
 # ----------------------------------------------------------------------
 @pytest.mark.slow
